@@ -1,0 +1,50 @@
+//! Criterion benches of the cache-simulation substrate: raw access
+//! throughput (direct-mapped fast path vs associative LRU) and full
+//! kernel-trace simulation rates — the costs behind every miss-rate figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tiling3d_cachesim::{Cache, CacheConfig, Hierarchy};
+use tiling3d_stencil::kernels::Kernel;
+
+fn bench_raw_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raw_access");
+    let accesses: u64 = 1 << 16;
+    g.throughput(Throughput::Elements(accesses));
+    for ways in [1usize, 4] {
+        let cfg = CacheConfig {
+            ways,
+            ..CacheConfig::ULTRASPARC2_L1
+        };
+        g.bench_with_input(BenchmarkId::new("ways", ways), &cfg, |b, cfg| {
+            let mut cache = Cache::new(*cfg);
+            b.iter(|| {
+                for i in 0..accesses {
+                    cache.access(black_box(i * 24 % (1 << 20)), false);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_sim");
+    g.sample_size(10);
+    let (n, nk) = (200usize, 8usize);
+    for kernel in [Kernel::Jacobi, Kernel::Resid] {
+        let pts = ((n - 2) * (n - 2) * (nk - 2)) as u64;
+        g.throughput(Throughput::Elements(pts * kernel.accesses_per_point()));
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut h = Hierarchy::ultrasparc2();
+                kernel.trace(n, nk, n, n, None, &mut h);
+                black_box(h.l1_stats().misses)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_access, bench_trace_simulation);
+criterion_main!(benches);

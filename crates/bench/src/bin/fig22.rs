@@ -1,0 +1,80 @@
+//! Reproduces **Fig 22**: memory increase from padding (JACOBI), GcdPad vs
+//! Pad, over problem sizes 200-400, plus the cubic-K variant the paper
+//! quotes ("if we were to use the same size for the K dimension ... average
+//! memory size increases would be much less, about 1.4% and 0.5%").
+//!
+//! ```text
+//! cargo run -p tiling3d-bench --bin fig22 [-- --step 8 --csv]
+//! ```
+
+use tiling3d_bench::{cli, plan_for, SweepConfig};
+use tiling3d_core::{memory_overhead_pct, Transform};
+use tiling3d_stencil::kernels::Kernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = SweepConfig {
+        step: cli::flag(&args, "--step", 8usize),
+        nk: cli::flag(&args, "--nk", 30usize),
+        ..Default::default()
+    };
+    let csv = cli::switch(&args, "--csv");
+
+    println!(
+        "Fig 22: JACOBI memory increase from padding (%), NxNx{} arrays",
+        cfg.nk
+    );
+    if csv {
+        println!("N,GcdPad,Pad,GcdPad_cubicK,Pad_cubicK");
+    } else {
+        println!(
+            "{:>6}{:>10}{:>10}{:>14}{:>12}",
+            "N", "GcdPad", "Pad", "GcdPad(K=N)", "Pad(K=N)"
+        );
+    }
+
+    let mut sums = [0.0f64; 4];
+    let sizes = cfg.sizes();
+    for &n in &sizes {
+        let g = plan_for(&cfg, Kernel::Jacobi, Transform::GcdPad, n);
+        let p = plan_for(&cfg, Kernel::Jacobi, Transform::Pad, n);
+        // K = 30 (paper's measurement setup): honest padded/original volume
+        // ratio. The paper's "K = N" remark amortises the *same measured
+        // pad volume* over a cubic array (the ratio itself is K-invariant,
+        // so the ~10x smaller figures it quotes only follow under that
+        // accounting) — reproduced in the last two columns.
+        let cubic = |di_p: usize, dj_p: usize| {
+            100.0 * ((di_p * dj_p - n * n) * cfg.nk) as f64 / (n * n * n) as f64
+        };
+        let vals = [
+            memory_overhead_pct(n, n, cfg.nk, g.padded_di, g.padded_dj),
+            memory_overhead_pct(n, n, cfg.nk, p.padded_di, p.padded_dj),
+            cubic(g.padded_di, g.padded_dj),
+            cubic(p.padded_di, p.padded_dj),
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        if csv {
+            println!(
+                "{n},{:.3},{:.3},{:.3},{:.3}",
+                vals[0], vals[1], vals[2], vals[3]
+            );
+        } else {
+            println!(
+                "{n:>6}{:>10.2}{:>10.2}{:>14.2}{:>12.2}",
+                vals[0], vals[1], vals[2], vals[3]
+            );
+        }
+    }
+    let c = sizes.len() as f64;
+    println!(
+        "\naverages: GcdPad {:.1}%  Pad {:.1}%   (cubic K: GcdPad {:.1}%  Pad {:.1}%)",
+        sums[0] / c,
+        sums[1] / c,
+        sums[2] / c,
+        sums[3] / c
+    );
+    println!("paper reference: GcdPad 14.7%, Pad 4.7% (cubic K: ~1.4% and ~0.5%)");
+    println!("note: the K dimension is never padded, so overhead scales with 1/K.");
+}

@@ -1,0 +1,54 @@
+//! Reproduces the cache-miss-rate figures: **Fig 14** (JACOBI), **Fig 16**
+//! (REDBLACK), **Fig 18** (RESID), and **Fig 20** (larger RESID sizes via
+//! `--min 400 --max 700`).
+//!
+//! Prints one row per problem size with the L1 (and optionally L2) miss
+//! rate of every transformation — the data series behind the paper's three
+//! stacked graphs per kernel.
+//!
+//! ```text
+//! cargo run --release -p tiling3d-bench --bin fig_miss -- jacobi [--min 200 --max 400 --step 8 --l2 --csv]
+//! ```
+
+use tiling3d_bench::{cli, run_miss_sweeps, SweepConfig};
+use tiling3d_core::Transform;
+use tiling3d_stencil::kernels::Kernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = cli::kernel(&args).unwrap_or(Kernel::Jacobi);
+    let cfg = SweepConfig {
+        n_min: cli::flag(&args, "--min", 200usize),
+        n_max: cli::flag(&args, "--max", 400usize),
+        step: cli::flag(&args, "--step", 8usize),
+        nk: cli::flag(&args, "--nk", 30usize),
+        ..Default::default()
+    };
+    let csv = cli::switch(&args, "--csv");
+    let transforms = Transform::ALL;
+
+    let fig = match (kernel, cfg.n_max > 450) {
+        (Kernel::Jacobi, _) => "Fig 14",
+        (Kernel::RedBlack, _) => "Fig 16",
+        (Kernel::Resid, false) => "Fig 18",
+        (Kernel::Resid, true) => "Fig 20",
+    };
+    println!(
+        "{fig}: {} L1 miss rates (%), N = {}..{} step {}, NxNx{} grids, 16K/2M direct-mapped",
+        kernel.name(),
+        cfg.n_min,
+        cfg.n_max,
+        cfg.step,
+        cfg.nk
+    );
+    let (l1, l2, _) = run_miss_sweeps(&cfg, kernel, &transforms);
+    l1.print(csv);
+    if cli::switch(&args, "--plot") {
+        println!("\n{}", tiling3d_bench::plot::render(&l1, 6));
+    }
+
+    if cli::switch(&args, "--l2") {
+        println!("\n{fig}: {} L2 miss rates (%)", kernel.name());
+        l2.print(csv);
+    }
+}

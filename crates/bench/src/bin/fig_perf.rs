@@ -1,0 +1,60 @@
+//! Reproduces the performance figures: **Fig 15** (JACOBI), **Fig 17**
+//! (REDBLACK), **Fig 19** (RESID), and **Fig 21** (larger RESID sizes via
+//! `--min 400 --max 700`): sustained MFlops per problem size for every
+//! transformation.
+//!
+//! Absolute MFlops are host-dependent (the paper used a 360/450 MHz
+//! UltraSparc2); the reproduced *shape* is what matters: GcdPad/Pad stable
+//! and fastest, Tile/Euc3D irregular, Orig slowest at large N.
+//!
+//! ```text
+//! cargo run --release -p tiling3d-bench --bin fig_perf -- redblack [--min 200 --max 400 --step 8 --reps 3 --csv]
+//! ```
+
+use tiling3d_bench::{cli, run_sweep, Metric, SweepConfig};
+use tiling3d_core::Transform;
+use tiling3d_stencil::kernels::Kernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = cli::kernel(&args).unwrap_or(Kernel::Jacobi);
+    let cfg = SweepConfig {
+        n_min: cli::flag(&args, "--min", 200usize),
+        n_max: cli::flag(&args, "--max", 400usize),
+        step: cli::flag(&args, "--step", 8usize),
+        nk: cli::flag(&args, "--nk", 30usize),
+        reps: cli::flag(&args, "--reps", 3usize),
+        ..Default::default()
+    };
+    let csv = cli::switch(&args, "--csv");
+
+    let fig = match (kernel, cfg.n_max > 450) {
+        (Kernel::Jacobi, _) => "Fig 15",
+        (Kernel::RedBlack, _) => "Fig 17",
+        (Kernel::Resid, false) => "Fig 19",
+        (Kernel::Resid, true) => "Fig 21",
+    };
+    println!(
+        "{fig}: {} performance (MFlops), N = {}..{} step {}, NxNx{} grids",
+        kernel.name(),
+        cfg.n_min,
+        cfg.n_max,
+        cfg.step,
+        cfg.nk
+    );
+    let metric = if cli::switch(&args, "--modeled") {
+        Metric::ModeledMFlops
+    } else {
+        Metric::MFlops
+    };
+    if metric == Metric::ModeledMFlops {
+        println!(
+            "(modeled from simulated misses at UltraSparc2-era penalties; see EXPERIMENTS.md)"
+        );
+    }
+    let perf = run_sweep(&cfg, kernel, &Transform::ALL, metric);
+    perf.print(csv);
+    if cli::switch(&args, "--plot") {
+        println!("\n{}", tiling3d_bench::plot::render(&perf, 6));
+    }
+}

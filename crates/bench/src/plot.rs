@@ -1,0 +1,140 @@
+//! Terminal plotting for sweep results — an ASCII rendition of the
+//! paper's figures, so `fig_miss --plot` shows the *shape* (flat padded
+//! lines, spiky unpadded ones) directly in the terminal.
+
+use crate::SweepResult;
+
+/// Renders one series per transform as a fixed-height ASCII chart.
+///
+/// The y-axis is shared across series (global min/max of the sweep), each
+/// series gets its own lane of `height` rows, and every column is one
+/// problem size. Values are marked with `*`; the lane is labelled with the
+/// transform name and its mean.
+pub fn render(result: &SweepResult, height: usize) -> String {
+    assert!(height >= 2, "need at least two rows per lane");
+    let mut out = String::new();
+    let cols = result.rows.len();
+    if cols == 0 {
+        return "(empty sweep)\n".into();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, vals) in &result.rows {
+        for &v in vals {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !(hi.is_finite() && lo.is_finite()) || hi == lo {
+        hi = lo + 1.0;
+    }
+    let means = result.means();
+    out.push_str(&format!(
+        "{} over N = {}..{} (y: {:.1}..{:.1})\n",
+        result.metric,
+        result.rows[0].0,
+        result.rows[cols - 1].0,
+        lo,
+        hi
+    ));
+    for (t_idx, t) in result.transforms.iter().enumerate() {
+        out.push_str(&format!("{:<9} (mean {:>7.2})\n", t.name(), means[t_idx]));
+        // Build the lane top-down.
+        let mut lane = vec![vec![b' '; cols]; height];
+        for (c, (_, vals)) in result.rows.iter().enumerate() {
+            let v = vals[t_idx];
+            let frac = (v - lo) / (hi - lo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            lane[row.min(height - 1)][c] = b'*';
+        }
+        for (r, row) in lane.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{hi:>8.1} |")
+            } else if r == height - 1 {
+                format!("{lo:>8.1} |")
+            } else {
+                format!("{:>8} |", "")
+            };
+            out.push_str(&label);
+            out.push_str(std::str::from_utf8(row).expect("ascii lane"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiling3d_core::Transform;
+
+    fn sample() -> SweepResult {
+        SweepResult {
+            metric: "L1 miss %",
+            transforms: vec![Transform::Orig, Transform::GcdPad],
+            rows: vec![
+                (200, vec![25.0, 19.5]),
+                (208, vec![25.0, 19.7]),
+                (216, vec![60.0, 19.6]),
+                (224, vec![25.0, 19.5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_one_lane_per_transform() {
+        let s = render(&sample(), 5);
+        assert!(s.contains("Orig"));
+        assert!(s.contains("GcdPad"));
+        // One star per column per lane.
+        let stars = s.matches('*').count();
+        assert_eq!(stars, 2 * 4);
+    }
+
+    #[test]
+    fn spike_lands_on_the_top_row_flat_series_on_the_bottom() {
+        let s = render(&sample(), 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // Orig lane: rows 2..7; the 60.0 spike is the max -> top row of
+        // the lane has a star in column 3.
+        let orig_top = lines[2];
+        assert!(
+            orig_top.contains('*'),
+            "spike missing from top row: {orig_top}"
+        );
+        // GcdPad lane: all values near the global min -> stars only on the
+        // bottom row of that lane.
+        let gcd_rows = &lines[8..13];
+        let starred: Vec<usize> = gcd_rows
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.contains('*'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            starred,
+            vec![4],
+            "flat series should sit on the lane floor: {s}"
+        );
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let r = SweepResult {
+            metric: "x",
+            transforms: vec![Transform::Orig],
+            rows: vec![(1, vec![5.0]), (2, vec![5.0])],
+        };
+        let s = render(&r, 3);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_sweep_is_handled() {
+        let r = SweepResult {
+            metric: "x",
+            transforms: vec![],
+            rows: vec![],
+        };
+        assert!(render(&r, 3).contains("empty"));
+    }
+}

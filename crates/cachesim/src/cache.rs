@@ -1,0 +1,265 @@
+//! Single-level set-associative cache model.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::sinks::AccessSink;
+use crate::stats::AccessStats;
+
+const EMPTY: u64 = u64::MAX;
+
+/// One cache level: set-associative with true-LRU replacement and a
+/// direct-mapped fast path.
+///
+/// The model tracks only tags — no data — because the workspace uses it
+/// purely for hit/miss accounting. Writes honour the configured
+/// [`WritePolicy`]: under `WriteAround` a missing write is counted as a miss
+/// but does **not** allocate (so stores to an output array cannot evict the
+/// input array's tile, the assumption the paper's tile analysis makes).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+    /// Direct-mapped fast path: one tag per set. Unused when `ways > 1`.
+    dm_tags: Vec<u64>,
+    /// Associative path: per set, `ways` slots of `(tag, last_use)`.
+    sets: Vec<(u64, u64)>,
+    clock: u64,
+    stats: AccessStats,
+}
+
+impl Cache {
+    /// Builds a cache for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.validate()` fails — geometry errors are programming
+    /// errors in this workspace, not runtime conditions.
+    pub fn new(cfg: CacheConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache config: {e}");
+        }
+        let num_sets = cfg.num_sets();
+        Cache {
+            cfg,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            dm_tags: if cfg.ways == 1 {
+                vec![EMPTY; num_sets]
+            } else {
+                Vec::new()
+            },
+            sets: if cfg.ways > 1 {
+                vec![(EMPTY, 0); num_sets * cfg.ways]
+            } else {
+                Vec::new()
+            },
+            clock: 0,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated since construction or the last [`Cache::reset`].
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Clears both the counters and the cache contents (cold restart).
+    pub fn reset(&mut self) {
+        self.stats = AccessStats::default();
+        self.clock = 0;
+        self.dm_tags.fill(EMPTY);
+        self.sets.fill((EMPTY, 0));
+    }
+
+    /// Presents one access; returns `true` on a miss.
+    #[inline]
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let allocate = !is_write || matches!(self.cfg.write_policy, WritePolicy::WriteAllocate);
+
+        let miss = if self.cfg.ways == 1 {
+            let slot = &mut self.dm_tags[set];
+            let miss = *slot != tag;
+            if miss && allocate {
+                *slot = tag;
+            }
+            miss
+        } else {
+            self.access_assoc(set, tag, allocate)
+        };
+
+        self.stats.record(is_write, miss);
+        miss
+    }
+
+    #[inline]
+    fn access_assoc(&mut self, set: usize, tag: u64, allocate: bool) -> bool {
+        self.clock += 1;
+        let ways = self.cfg.ways;
+        let slots = &mut self.sets[set * ways..(set + 1) * ways];
+        // Hit?
+        if let Some(slot) = slots.iter_mut().find(|(t, _)| *t == tag) {
+            slot.1 = self.clock;
+            return false;
+        }
+        if allocate {
+            // Victim: empty slot if any, else least recently used.
+            let victim = slots
+                .iter_mut()
+                .min_by_key(|(t, lu)| if *t == EMPTY { 0 } else { *lu + 1 })
+                .expect("ways > 0");
+            *victim = (tag, self.clock);
+        }
+        true
+    }
+
+    /// True when the line containing `addr` is currently resident —
+    /// a test/debug probe that does not perturb stats or LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        if self.cfg.ways == 1 {
+            self.dm_tags[set] == tag
+        } else {
+            let ways = self.cfg.ways;
+            self.sets[set * ways..(set + 1) * ways]
+                .iter()
+                .any(|(t, _)| *t == tag)
+        }
+    }
+}
+
+impl AccessSink for Cache {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        self.access(addr, false);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        self.access(addr, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplacementPolicy;
+
+    fn tiny(ways: usize, policy: WritePolicy) -> Cache {
+        // 256B cache, 32B lines -> 8 lines.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 32,
+            ways,
+            write_policy: policy,
+            replacement: ReplacementPolicy::Lru,
+        })
+    }
+
+    #[test]
+    fn direct_mapped_spatial_hit() {
+        let mut c = tiny(1, WritePolicy::WriteAllocate);
+        assert!(c.access(0, false)); // cold
+        assert!(!c.access(31, false)); // same line
+        assert!(c.access(32, false)); // next line cold
+    }
+
+    #[test]
+    fn direct_mapped_conflict_thrash() {
+        let mut c = tiny(1, WritePolicy::WriteAllocate);
+        // 0 and 256 map to the same set in a 256B direct-mapped cache.
+        for _ in 0..4 {
+            assert!(c.access(0, false));
+            assert!(c.access(256, false));
+        }
+        assert_eq!(c.stats().misses, 8);
+    }
+
+    #[test]
+    fn two_way_absorbs_pairwise_conflict() {
+        let mut c = tiny(2, WritePolicy::WriteAllocate);
+        assert!(c.access(0, false));
+        assert!(c.access(256, false));
+        for _ in 0..4 {
+            assert!(!c.access(0, false));
+            assert!(!c.access(256, false));
+        }
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, WritePolicy::WriteAllocate);
+        c.access(0, false); // way A of set 0
+        c.access(256, false); // way B
+        c.access(0, false); // touch A -> B is LRU
+        c.access(512, false); // evicts B (256)
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn write_around_does_not_allocate() {
+        let mut c = tiny(1, WritePolicy::WriteAround);
+        assert!(c.access(0, true)); // write miss, no fill
+        assert!(!c.probe(0));
+        assert!(c.access(0, false)); // still a read miss
+        assert!(!c.access(0, true)); // write *hit* on resident line
+        let s = c.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.write_misses, 1);
+    }
+
+    #[test]
+    fn write_allocate_fills_on_write() {
+        let mut c = tiny(1, WritePolicy::WriteAllocate);
+        assert!(c.access(64, true));
+        assert!(c.probe(64));
+        assert!(!c.access(64, false));
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = tiny(1, WritePolicy::WriteAllocate);
+        c.access(0, false);
+        c.access(0, false);
+        c.reset();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0, false)); // cold again
+    }
+
+    #[test]
+    fn fully_associative_has_no_conflicts_within_capacity() {
+        // 8 lines fully associative: any 8 distinct lines coexist.
+        let mut c = tiny(8, WritePolicy::WriteAllocate);
+        for i in 0..8u64 {
+            c.access(i * 4096, false);
+        }
+        for i in 0..8u64 {
+            assert!(!c.access(i * 4096, false), "line {i} should be resident");
+        }
+    }
+
+    #[test]
+    fn ultrasparc_l1_set_mapping() {
+        let mut c = Cache::new(CacheConfig::ULTRASPARC2_L1);
+        // 16K apart -> same set, conflict in a direct-mapped cache.
+        c.access(0, false);
+        assert!(c.access(16 * 1024, false));
+        assert!(c.access(0, false));
+        // 8K apart -> different sets, no conflict.
+        c.reset();
+        c.access(0, false);
+        c.access(8 * 1024, false);
+        assert!(!c.access(0, false));
+    }
+}

@@ -1,0 +1,188 @@
+//! Two-level cache hierarchy.
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+use crate::sinks::AccessSink;
+use crate::stats::AccessStats;
+
+/// An L1 → L2 hierarchy matching the paper's simulation setup.
+///
+/// Semantics:
+/// * a **read** probes L1; on an L1 miss the line is fetched through L2, so
+///   L2 sees exactly the L1 read misses;
+/// * a **write** is write-through at L1 (the UltraSparc2 L1 is
+///   write-through): it updates L1 per L1's write policy *and* is always
+///   presented to L2, where the L2 write policy applies.
+///
+/// The default geometry ([`Hierarchy::ultrasparc2`]) is the 16KB
+/// direct-mapped write-around L1 with 32-byte lines over the 2MB
+/// direct-mapped L2 with 64-byte lines used for every simulation figure in
+/// the paper (Figs 14, 16, 18, 20).
+///
+/// # Example
+///
+/// ```
+/// use tiling3d_cachesim::{AccessSink, Hierarchy};
+///
+/// let mut h = Hierarchy::ultrasparc2();
+/// h.read(0);  // cold miss at both levels
+/// h.read(8);  // same L1 line: hit, L2 not consulted
+/// assert_eq!(h.l1_stats().misses, 1);
+/// assert_eq!(h.l2_stats().accesses, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from two level configurations.
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        Hierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+        }
+    }
+
+    /// The paper's simulated UltraSparc2 memory system.
+    pub fn ultrasparc2() -> Self {
+        Self::new(CacheConfig::ULTRASPARC2_L1, CacheConfig::ULTRASPARC2_L2)
+    }
+
+    /// L1 counters.
+    pub fn l1_stats(&self) -> AccessStats {
+        self.l1.stats()
+    }
+
+    /// L2 counters.
+    pub fn l2_stats(&self) -> AccessStats {
+        self.l2.stats()
+    }
+
+    /// Immutable access to the L1 model (for probes in tests).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Immutable access to the L2 model.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Clears counters and contents of both levels.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+
+    /// L1 miss rate in percent (the paper's primary metric).
+    pub fn l1_miss_rate_pct(&self) -> f64 {
+        self.l1.stats().miss_rate_pct()
+    }
+
+    /// L2 *global-reference* miss rate in percent: L2 misses divided by the
+    /// total references the program issued (L1 accesses), matching how the
+    /// paper reports small L2 rates (e.g. 6.3% L1 / 1.3% L2 for RESID).
+    pub fn l2_miss_rate_pct(&self) -> f64 {
+        let total = self.l1.stats().accesses;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.l2.stats().misses as f64 / total as f64
+        }
+    }
+
+    /// L2 *local* miss rate in percent (misses over L2 accesses).
+    pub fn l2_local_miss_rate_pct(&self) -> f64 {
+        self.l2.stats().miss_rate_pct()
+    }
+}
+
+impl AccessSink for Hierarchy {
+    #[inline]
+    fn read(&mut self, addr: u64) {
+        if self.l1.access(addr, false) {
+            self.l2.access(addr, false);
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64) {
+        self.l1.access(addr, true);
+        // Write-through: L2 always observes the store.
+        self.l2.access(addr, true);
+    }
+}
+
+/// Convenience: run a trace closure against the standard UltraSparc2
+/// hierarchy and return it for inspection.
+pub fn simulate_ultrasparc2(trace: impl FnOnce(&mut Hierarchy)) -> Hierarchy {
+    let mut h = Hierarchy::ultrasparc2();
+    trace(&mut h);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_sees_only_l1_read_misses() {
+        let mut h = Hierarchy::ultrasparc2();
+        h.read(0); // L1 miss -> L2 access
+        h.read(8); // L1 hit -> no L2 access
+        h.read(0); // L1 hit
+        assert_eq!(h.l1_stats().accesses, 3);
+        assert_eq!(h.l1_stats().misses, 1);
+        assert_eq!(h.l2_stats().accesses, 1);
+    }
+
+    #[test]
+    fn writes_are_write_through() {
+        let mut h = Hierarchy::ultrasparc2();
+        h.write(0);
+        h.write(0);
+        assert_eq!(h.l1_stats().writes, 2);
+        assert_eq!(h.l2_stats().writes, 2);
+        // L1 write-around: both L1 writes miss (no allocate); L2
+        // write-allocate: first misses, second hits.
+        assert_eq!(h.l1_stats().write_misses, 2);
+        assert_eq!(h.l2_stats().write_misses, 1);
+    }
+
+    #[test]
+    fn l1_conflict_can_still_hit_l2() {
+        let mut h = Hierarchy::ultrasparc2();
+        // Two addresses 16K apart conflict in L1 but not in the 2M L2.
+        h.read(0);
+        h.read(16 * 1024);
+        h.read(0);
+        h.read(16 * 1024);
+        assert_eq!(h.l1_stats().misses, 4);
+        assert_eq!(h.l2_stats().misses, 2); // only cold misses at L2
+    }
+
+    #[test]
+    fn global_l2_rate_uses_program_references() {
+        let mut h = Hierarchy::ultrasparc2();
+        for i in 0..10u64 {
+            h.read(i * 8); // one 32B L1 line per 4 reads
+        }
+        // 10 refs, 3 L1 misses (lines 0,32,64), 3 L2 misses... lines are
+        // 64B in L2 so lines {0,64} -> 2 L2 misses.
+        assert_eq!(h.l1_stats().misses, 3);
+        assert_eq!(h.l2_stats().misses, 2);
+        assert!((h.l2_miss_rate_pct() - 20.0).abs() < 1e-12);
+        assert!(h.l2_local_miss_rate_pct() > h.l2_miss_rate_pct());
+    }
+
+    #[test]
+    fn simulate_helper_returns_populated_hierarchy() {
+        let h = simulate_ultrasparc2(|h| {
+            h.read(123);
+            h.write(456);
+        });
+        assert_eq!(h.l1_stats().accesses, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Access counters and miss-rate arithmetic.
+
+/// Hit/miss counters for one cache level (or one simulated run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Total accesses presented to this level.
+    pub accesses: u64,
+    /// Accesses that missed at this level.
+    pub misses: u64,
+    /// Read subset of `accesses`.
+    pub reads: u64,
+    /// Read subset of `misses`.
+    pub read_misses: u64,
+    /// Write subset of `accesses`.
+    pub writes: u64,
+    /// Write subset of `misses`.
+    pub write_misses: u64,
+}
+
+impl AccessStats {
+    /// Miss rate in percent over all accesses, as the paper reports it
+    /// (e.g. "original miss rate 32.7"). Zero-access runs report 0.
+    pub fn miss_rate_pct(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Read-only miss rate in percent.
+    pub fn read_miss_rate_pct(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            100.0 * self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.reads += other.reads;
+        self.read_misses += other.read_misses;
+        self.writes += other.writes;
+        self.write_misses += other.write_misses;
+    }
+
+    /// Records one access.
+    #[inline]
+    pub(crate) fn record(&mut self, is_write: bool, miss: bool) {
+        self.accesses += 1;
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if miss {
+            self.misses += 1;
+            if is_write {
+                self.write_misses += 1;
+            } else {
+                self.read_misses += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_merge() {
+        let mut s = AccessStats::default();
+        s.record(false, true);
+        s.record(false, false);
+        s.record(true, true);
+        s.record(true, false);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.miss_rate_pct(), 50.0);
+        assert_eq!(s.read_miss_rate_pct(), 50.0);
+
+        let mut t = AccessStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.accesses, 8);
+        assert_eq!(t.read_misses, 2);
+    }
+
+    #[test]
+    fn empty_run_has_zero_rate() {
+        assert_eq!(AccessStats::default().miss_rate_pct(), 0.0);
+        assert_eq!(AccessStats::default().read_miss_rate_pct(), 0.0);
+    }
+}

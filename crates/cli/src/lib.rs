@@ -1,0 +1,350 @@
+//! Command implementations for the `tiling3d` CLI.
+//!
+//! Each subcommand is a pure function from parsed arguments to a rendered
+//! `String`, so the whole surface is unit-testable without spawning
+//! processes; `main.rs` is a thin argv shim.
+//!
+//! ```text
+//! tiling3d plan     --stencil jacobi3d --dims 341x341 [--cache-kb 16] [--line 32]
+//! tiling3d tiles    --di 200 --dj 200 [--cache 2048] [--tkmax 4]
+//! tiling3d advise   --stencil jacobi3d --n 300 [--cache-kb 16]
+//! tiling3d simulate --kernel resid --n 341 [--nk 30] [--transform gcdpad]
+//! tiling3d predict  --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use tiling3d_cachesim::{CacheConfig, Hierarchy};
+use tiling3d_core::nonconflict::enumerate_array_tiles;
+use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
+use tiling3d_core::{plan, CacheSpec, Transform};
+use tiling3d_loopnest::{reuse, StencilShape};
+use tiling3d_stencil::kernels::Kernel;
+
+/// Parsed `--key value` arguments plus the subcommand word.
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    rest: Vec<String>,
+}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    pub fn parse(raw: &[String]) -> Result<Args, String> {
+        let command = raw.first().cloned().ok_or_else(usage)?;
+        Ok(Args {
+            command,
+            rest: raw[1..].to_vec(),
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.rest
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.rest.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn num(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{key}: expected a number, got '{v}'")),
+        }
+    }
+
+    fn pair(&self, key: &str) -> Result<Option<(usize, usize)>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let (a, b) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("{key}: expected AxB, got '{v}'"))?;
+                Ok(Some((
+                    a.parse().map_err(|_| format!("{key}: bad number '{a}'"))?,
+                    b.parse().map_err(|_| format!("{key}: bad number '{b}'"))?,
+                )))
+            }
+        }
+    }
+
+    fn stencil(&self) -> Result<StencilShape, String> {
+        match self.get("--stencil").unwrap_or("jacobi3d") {
+            "jacobi3d" => Ok(StencilShape::jacobi3d()),
+            "jacobi2d" => Ok(StencilShape::jacobi2d()),
+            "redblack" | "redblack3d" => Ok(StencilShape::redblack3d_fused()),
+            "resid" | "resid27" => Ok(StencilShape::resid27()),
+            other => Err(format!("unknown stencil '{other}'")),
+        }
+    }
+
+    fn kernel(&self) -> Result<Kernel, String> {
+        match self.get("--kernel").unwrap_or("jacobi") {
+            "jacobi" => Ok(Kernel::Jacobi),
+            "redblack" => Ok(Kernel::RedBlack),
+            "resid" => Ok(Kernel::Resid),
+            other => Err(format!("unknown kernel '{other}'")),
+        }
+    }
+
+    fn transform(&self) -> Result<Transform, String> {
+        match self
+            .get("--transform")
+            .unwrap_or("pad")
+            .to_lowercase()
+            .as_str()
+        {
+            "orig" => Ok(Transform::Orig),
+            "tile" => Ok(Transform::Tile),
+            "euc3d" => Ok(Transform::Euc3D),
+            "gcdpad" => Ok(Transform::GcdPad),
+            "pad" => Ok(Transform::Pad),
+            "gcdpadnt" => Ok(Transform::GcdPadNT),
+            other => Err(format!("unknown transform '{other}'")),
+        }
+    }
+
+    fn cache_spec(&self) -> Result<CacheSpec, String> {
+        let kb = self.num("--cache-kb", 16)?;
+        Ok(CacheSpec::from_bytes(kb * 1024))
+    }
+}
+
+/// Usage string (also the error for a missing subcommand).
+pub fn usage() -> String {
+    "usage: tiling3d <plan|tiles|advise|simulate|predict> [--key value ...]\n\
+     see `cargo doc -p tiling3d-cli` for the full flag reference"
+        .to_string()
+}
+
+/// Dispatches a parsed command.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "plan" => cmd_plan(args),
+        "tiles" => cmd_tiles(args),
+        "advise" => cmd_advise(args),
+        "simulate" => cmd_simulate(args),
+        "predict" => cmd_predict(args),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn cmd_plan(args: &Args) -> Result<String, String> {
+    let shape = args.stencil()?;
+    let (di, dj) = args.pair("--dims")?.ok_or("plan requires --dims AxB")?;
+    let cache = args.cache_spec()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "planning for a {di}x{dj}xM array, stencil {} (m={}, n={}, ATD={}), cache {} doubles",
+        shape.name(),
+        shape.m(),
+        shape.n(),
+        shape.atd(),
+        cache.elements
+    );
+    let _ = writeln!(
+        out,
+        "{:<10}{:>12}{:>16}{:>12}",
+        "transform", "tile", "padded dims", "model cost"
+    );
+    for t in Transform::ALL {
+        let p = plan(t, cache, di, dj, &shape);
+        let _ = writeln!(
+            out,
+            "{:<10}{:>12}{:>16}{:>12}",
+            t.name(),
+            p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
+            format!("{}x{}", p.padded_di, p.padded_dj),
+            if p.cost.is_finite() {
+                format!("{:.4}", p.cost)
+            } else {
+                "-".into()
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_tiles(args: &Args) -> Result<String, String> {
+    let di = args.num("--di", 200)?;
+    let dj = args.num("--dj", di)?;
+    let cache = args.num("--cache", 2048)?;
+    let tkmax = args.num("--tkmax", 4)?;
+    let tiles = enumerate_array_tiles(cache, di, dj, tkmax);
+    let mut out =
+        format!("maximal non-conflicting array tiles, {di}x{dj}xM array, {cache}-element cache:\n");
+    let _ = writeln!(out, "{:>4}{:>6}{:>6}", "TK", "TJ", "TI");
+    for t in &tiles {
+        let _ = writeln!(out, "{:>4}{:>6}{:>6}", t.tk, t.tj, t.ti);
+    }
+    Ok(out)
+}
+
+fn cmd_advise(args: &Args) -> Result<String, String> {
+    let shape = args.stencil()?;
+    let n = args.num("--n", 0)?;
+    if n == 0 {
+        return Err("advise requires --n".into());
+    }
+    let cache = args.cache_spec()?;
+    let mut out = String::new();
+    if shape.atd() == 1 {
+        let bound = reuse::max_column_extent_2d(cache.elements, &shape);
+        let verdict = reuse::advise_2d(cache.elements, &shape, n);
+        let _ = writeln!(
+            out,
+            "2D stencil {}: group reuse survives up to column length {bound}; \
+             at N = {n}: {verdict:?}",
+            shape.name()
+        );
+    } else {
+        let bound = reuse::max_plane_extent(cache.elements, &shape);
+        let verdict = reuse::advise_3d(cache.elements, &shape, n);
+        let _ = writeln!(
+            out,
+            "3D stencil {}: K-loop reuse survives up to plane extent {bound}; \
+             at N = {n}: {verdict:?}",
+            shape.name()
+        );
+        let dist = reuse::k_reuse_distance(&shape, n, n);
+        let _ = writeln!(
+            out,
+            "reuse distance across K at N = {n}: {dist} elements ({} KB)",
+            dist * 8 / 1024
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let kernel = args.kernel()?;
+    let n = args.num("--n", 0)?;
+    if n < 3 {
+        return Err("simulate requires --n >= 3".into());
+    }
+    let nk = args.num("--nk", 30)?;
+    let t = args.transform()?;
+    let cache = args.cache_spec()?;
+    let p = plan(t, cache, n, n, &kernel.shape());
+    let l1 = CacheConfig::direct_mapped(cache.elements * 8, args.num("--line", 32)?);
+    l1.validate()
+        .map_err(|e| format!("bad cache geometry: {e}"))?;
+    let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
+    kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+    Ok(format!(
+        "{} {n}x{n}x{nk} under {}: tile {:?}, dims {}x{}\n\
+         L1 miss rate {:.2}% ({} misses / {} accesses); L2 miss rate {:.2}%\n",
+        kernel.name(),
+        t.name(),
+        p.tile,
+        p.padded_di,
+        p.padded_dj,
+        h.l1_miss_rate_pct(),
+        h.l1_stats().misses,
+        h.l1_stats().accesses,
+        h.l2_miss_rate_pct(),
+    ))
+}
+
+fn cmd_predict(args: &Args) -> Result<String, String> {
+    let kernel = args.kernel()?;
+    let n = args.num("--n", 0)?;
+    if n < 3 {
+        return Err("predict requires --n >= 3".into());
+    }
+    let nk = args.num("--nk", 30)?;
+    let cache = args.cache_spec()?;
+    let line = args.num("--line", 32)? / 8;
+    let spec = match kernel {
+        Kernel::Jacobi => SweepSpec::jacobi3d(),
+        Kernel::RedBlack => SweepSpec::redblack_naive(),
+        Kernel::Resid => SweepSpec::resid(),
+    };
+    let pr = match args.pair("--tile")? {
+        None => predict_untiled(cache, line, &spec, n, nk, n, n),
+        Some((ti, tj)) => predict_tiled(cache, line, &spec, n, nk, ti, tj),
+    };
+    Ok(format!(
+        "analytic prediction for {} {n}x{n}x{nk} (conflict-free {}-double cache):\n\
+         {:.0} misses / {:.0} accesses = {:.2}% miss rate\n",
+        kernel.name(),
+        cache.elements,
+        pr.misses,
+        pr.accesses,
+        pr.miss_rate_pct,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, String> {
+        let raw: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        run(&Args::parse(&raw)?)
+    }
+
+    #[test]
+    fn plan_shows_all_transforms() {
+        let out = run_line("plan --stencil jacobi3d --dims 341x341").unwrap();
+        for name in ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(
+            out.contains("110x4"),
+            "Euc3D's pathological tile should appear:\n{out}"
+        );
+    }
+
+    #[test]
+    fn tiles_reproduces_table1_values() {
+        let out = run_line("tiles --di 200 --dj 200").unwrap();
+        assert!(out.contains("2048"));
+        // The (TK=3, TJ=15, TI=24) row.
+        assert!(out.lines().any(|l| {
+            let f: Vec<&str> = l.split_whitespace().collect();
+            f == ["3", "15", "24"]
+        }));
+    }
+
+    #[test]
+    fn advise_matches_the_paper_boundaries() {
+        let out = run_line("advise --stencil jacobi3d --n 33").unwrap();
+        assert!(out.contains("up to plane extent 32"));
+        assert!(out.contains("TileInnerTwo"));
+        let out2 = run_line("advise --stencil jacobi2d --n 500").unwrap();
+        assert!(out2.contains("NotNeeded"));
+    }
+
+    #[test]
+    fn simulate_reports_rates() {
+        let out = run_line("simulate --kernel jacobi --n 64 --nk 8 --transform gcdpad").unwrap();
+        assert!(out.contains("L1 miss rate"));
+        assert!(out.contains("GcdPad"));
+    }
+
+    #[test]
+    fn predict_untiled_and_tiled() {
+        let out = run_line("predict --kernel jacobi --n 280 --nk 30").unwrap();
+        assert!(out.contains("25.00%"), "{out}");
+        let out = run_line("predict --kernel jacobi --n 280 --nk 30 --tile 30x14").unwrap();
+        assert!(out.contains("%"));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run_line("plan").unwrap_err().contains("--dims"));
+        assert!(run_line("bogus").unwrap_err().contains("unknown command"));
+        assert!(run_line("plan --dims nope --stencil jacobi3d")
+            .unwrap_err()
+            .contains("AxB"));
+        assert!(run_line("simulate --kernel martian --n 50")
+            .unwrap_err()
+            .contains("unknown kernel"));
+    }
+}

@@ -1,0 +1,17 @@
+//! `tiling3d` — plan, analyse and simulate 3D stencil tiling from the
+//! command line. See `tiling3d_cli` for the commands.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match tiling3d_cli::Args::parse(&raw).and_then(|a| tiling3d_cli::run(&a)) {
+        Ok(out) => {
+            print!("{out}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,100 @@
+//! The copy-optimization profitability analysis of Section 3.1.
+//!
+//! Copying tiles into contiguous buffers eliminates self-interference, but
+//! every copied element costs a read and a write. Whether that pays off
+//! depends on how many times each element is *reused* once copied:
+//!
+//! * dense linear algebra (matmul): a tile of `O(T^2)` elements is reused
+//!   `O(N)` times — the copy is asymptotically free;
+//! * stencils: each element of the array tile is touched at most
+//!   `reads_per_point` times per sweep, a **constant** — so copying is a
+//!   constant, non-vanishing fraction of all accesses and "is therefore
+//!   not profitable for stencil codes".
+//!
+//! [`copy_fraction_stencil`] and [`copy_fraction_matmul`] quantify both
+//! sides of that argument; [`copying_profitable`] packages the decision the
+//! way a compiler would consult it.
+
+use tiling3d_loopnest::StencilShape;
+
+/// Fraction of all memory accesses spent copying when tiling a stencil
+/// sweep with tile `(ti, tj)` and copying each `(ti+m) x (tj+n) x ATD`
+/// array tile into a contiguous buffer once per tile instantiation.
+///
+/// Copy traffic per iteration tile: `2 * (ti+m)(tj+n) * ATD` accesses
+/// (read + write per element, for the ATD planes entering the window as
+/// the K loop advances this is amortised to `2 (ti+m)(tj+n)` per plane
+/// step, i.e. per `ti*tj` iteration points).
+/// Compute traffic per point: `reads + 1` write.
+pub fn copy_fraction_stencil(shape: &StencilShape, ti: usize, tj: usize) -> f64 {
+    assert!(ti > 0 && tj > 0);
+    let copy_per_plane = 2.0 * ((ti + shape.m()) * (tj + shape.n())) as f64;
+    let compute_per_plane = (ti * tj) as f64 * (shape.reads_per_point() + 1) as f64;
+    copy_per_plane / (copy_per_plane + compute_per_plane)
+}
+
+/// Fraction of accesses spent copying for a tiled `N^3`-flop matmul with
+/// square tiles of side `t`: `O(N^2)` copied elements against `O(N^3)`
+/// accesses — `~ 1/t`, vanishing as tiles grow.
+pub fn copy_fraction_matmul(n: usize, t: usize) -> f64 {
+    assert!(t > 0 && n >= t);
+    // Per tile-pair: copy 2*t^2 elements (read+write = 4*t^2 accesses);
+    // compute uses 2*t^3 multiply-add loads plus t^2 stores ~ 3*t^3.
+    let copy = 4.0 * (t * t) as f64;
+    let compute = 3.0 * (t * t * t) as f64;
+    copy / (copy + compute)
+}
+
+/// The compiler decision of Section 3.1: copying is profitable only when
+/// the copy traffic is a small fraction (below `threshold`, e.g. 5%) of
+/// all accesses.
+pub fn copying_profitable(copy_fraction: f64, threshold: f64) -> bool {
+    copy_fraction < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_copy_fraction_is_a_large_constant() {
+        let j = StencilShape::jacobi3d();
+        // Even for generous tiles the fraction stays well above any
+        // sensible profitability threshold.
+        for &(ti, tj) in &[(30usize, 14usize), (22, 13), (64, 32)] {
+            let f = copy_fraction_stencil(&j, ti, tj);
+            assert!(f > 0.15, "({ti},{tj}): {f}");
+            assert!(!copying_profitable(f, 0.05));
+        }
+    }
+
+    #[test]
+    fn stencil_fraction_does_not_vanish_with_tile_size() {
+        let j = StencilShape::jacobi3d();
+        let small = copy_fraction_stencil(&j, 8, 8);
+        let large = copy_fraction_stencil(&j, 128, 128);
+        // Converges to 2/(reads+1+2) = 2/9 for Jacobi, not to zero.
+        assert!((large - 2.0 / 9.0).abs() < 0.02, "{large}");
+        assert!(small > large);
+        assert!(large > 0.2);
+    }
+
+    #[test]
+    fn matmul_copy_fraction_vanishes() {
+        let f32_ = copy_fraction_matmul(1024, 32);
+        let f128 = copy_fraction_matmul(1024, 128);
+        assert!(f128 < f32_);
+        assert!(f128 < 0.02);
+        assert!(copying_profitable(f128, 0.05));
+    }
+
+    #[test]
+    fn richer_stencils_amortise_copies_slightly_better() {
+        // RESID reuses each element 27x vs Jacobi's 6x, so its copy
+        // fraction is lower — but still a constant.
+        let j = copy_fraction_stencil(&StencilShape::jacobi3d(), 30, 14);
+        let r = copy_fraction_stencil(&StencilShape::resid27(), 30, 14);
+        assert!(r < j);
+        assert!(r > 0.05);
+    }
+}

@@ -1,0 +1,112 @@
+//! The tile cost model of Section 2.3.
+
+use tiling3d_loopnest::StencilShape;
+
+/// The paper's cost function for iteration tiles.
+///
+/// During each `TI x TJ x (N-2)` block of iterations the nest touches about
+/// `(TI+m)(TJ+n)N` array elements; summed over the `N^2/(TI*TJ)` blocks and
+/// with the constant `N^3/L` divided out, the figure of merit is
+///
+/// ```text
+/// Cost(TI, TJ) = (TI + m)(TJ + n) / (TI * TJ)
+/// ```
+///
+/// — the *loss of reuse* per iteration point. Lower is better; for a fixed
+/// product `TI*TJ` the function is minimal when `TI` and `TJ` are closest
+/// (square tiles win). Non-positive tile extents get infinite cost, which
+/// is how `Euc3D` discards array tiles too small to trim (Fig 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Trim amount in `I` (`max(di) - min(di)` over the stencil offsets).
+    pub m: usize,
+    /// Trim amount in `J`.
+    pub n: usize,
+}
+
+impl CostModel {
+    /// Cost model for an explicit `(m, n)` pair.
+    pub fn new(m: usize, n: usize) -> Self {
+        CostModel { m, n }
+    }
+
+    /// Derives `(m, n)` from a stencil shape (Jacobi/RESID: `m = n = 2`).
+    pub fn from_shape(shape: &StencilShape) -> Self {
+        CostModel {
+            m: shape.m(),
+            n: shape.n(),
+        }
+    }
+
+    /// Evaluates the cost of iteration tile `(ti, tj)`. Returns
+    /// `f64::INFINITY` when either extent is non-positive.
+    pub fn eval(&self, ti: i64, tj: i64) -> f64 {
+        if ti <= 0 || tj <= 0 {
+            return f64::INFINITY;
+        }
+        let num = (ti + self.m as i64) as f64 * (tj + self.n as i64) as f64;
+        num / (ti as f64 * tj as f64)
+    }
+
+    /// Evaluates the cost of the iteration tile obtained by trimming an
+    /// *array* tile `(ti_a, tj_a)` by `(m, n)`.
+    pub fn eval_array_tile(&self, ti_a: usize, tj_a: usize) -> f64 {
+        self.eval(ti_a as i64 - self.m as i64, tj_a as i64 - self.n as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_value() {
+        // (TI', TJ') = (22, 13) from array tile (24, 15):
+        // cost = 24*15 / (22*13).
+        let c = CostModel::new(2, 2);
+        let v = c.eval(22, 13);
+        assert!((v - (24.0 * 15.0) / (22.0 * 13.0)).abs() < 1e-12);
+        assert!((c.eval_array_tile(24, 15) - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_tiles_cost_infinity() {
+        let c = CostModel::new(2, 2);
+        assert!(c.eval(0, 5).is_infinite());
+        assert!(c.eval(5, -1).is_infinite());
+        // Array tile too small to trim:
+        assert!(c.eval_array_tile(2, 10).is_infinite());
+        assert!(c.eval_array_tile(1, 10).is_infinite());
+    }
+
+    #[test]
+    fn square_tiles_beat_skewed_tiles_of_equal_area() {
+        let c = CostModel::new(2, 2);
+        // 16x16 vs 64x4 vs 256x1 — all area 256.
+        assert!(c.eval(16, 16) < c.eval(64, 4));
+        assert!(c.eval(64, 4) < c.eval(256, 1));
+    }
+
+    #[test]
+    fn cost_decreases_with_tile_size() {
+        let c = CostModel::new(2, 2);
+        assert!(c.eval(32, 16) < c.eval(16, 8));
+        assert!(c.eval(16, 8) < c.eval(8, 4));
+    }
+
+    #[test]
+    fn from_shape_matches_spans() {
+        use tiling3d_loopnest::StencilShape;
+        let c = CostModel::from_shape(&StencilShape::resid27());
+        assert_eq!((c.m, c.n), (2, 2));
+        let c2 = CostModel::from_shape(&StencilShape::jacobi2d());
+        assert_eq!((c2.m, c2.n), (2, 2));
+    }
+
+    #[test]
+    fn asymmetric_model_prefers_wider_dimension_with_smaller_trim() {
+        // With m=0, n=4 the cost penalises small TJ more.
+        let c = CostModel::new(0, 4);
+        assert!(c.eval(8, 32) < c.eval(32, 8));
+    }
+}

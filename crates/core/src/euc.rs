@@ -1,0 +1,217 @@
+//! The Euc3D tile-selection algorithm (Fig 9).
+
+use crate::cost::CostModel;
+use crate::nonconflict::{enumerate_depth, ArrayTile};
+use crate::plan::CacheSpec;
+use tiling3d_loopnest::StencilShape;
+
+/// Result of tile selection: the iteration tile to run, the array tile it
+/// came from, and its modelled cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TileSelection {
+    /// Iteration-tile dimensions `(TI', TJ')` — what the tiled loop nest
+    /// actually uses for its `II`/`JJ` strips.
+    pub iter_tile: (usize, usize),
+    /// The non-conflicting array tile the iteration tile was trimmed from.
+    pub array_tile: ArrayTile,
+    /// `Cost(TI', TJ')` under the stencil's cost model.
+    pub cost: f64,
+}
+
+/// `Euc3D` (Fig 9): enumerate non-conflicting array tiles for the given
+/// array dimensions, trim each by the stencil spans `(m, n)`, and return
+/// the iteration tile minimising the cost function.
+///
+/// Only depths `TK >= ATD` can hold the stencil's working planes; depths
+/// `> ATD` can never offer a strictly cheaper tile (their non-conflicting
+/// `(TI, TJ)` sets are subsets of the `ATD`-depth sets), so the minimum is
+/// taken at `TK = ATD` — see [`euc3d_with_depths`] for the enumeration
+/// across depths used to render the paper's Table 1.
+///
+/// Returns `None` when no array tile survives trimming (cache too small for
+/// this stencil, or pathological dimensions like 256x256 whose plane stride
+/// is `0 mod C` so planes conflict totally), in which case [`euc3d`] falls
+/// back to the paper's degenerate `(1, 1)` default.
+pub fn euc3d_checked(
+    cache: CacheSpec,
+    di: usize,
+    dj: usize,
+    shape: &StencilShape,
+) -> Option<TileSelection> {
+    let cost = CostModel::from_shape(shape);
+    let atd = shape.atd();
+    best_at_depth(cache.elements, di, dj, atd, cost)
+}
+
+/// Infallible variant of [`euc3d_checked`] matching Fig 9 exactly: the
+/// selection is initialised to `(TI_mc, TJ_mc) = (1, 1)`, so when no real
+/// non-conflicting tile survives trimming the degenerate `1 x 1` iteration
+/// tile is returned (the source of the paper's "pathologically irregular
+/// tile size" spikes in Figs 14-19).
+pub fn euc3d(cache: CacheSpec, di: usize, dj: usize, shape: &StencilShape) -> TileSelection {
+    euc3d_checked(cache, di, dj, shape).unwrap_or_else(|| {
+        let cost = CostModel::from_shape(shape);
+        TileSelection {
+            iter_tile: (1, 1),
+            array_tile: ArrayTile {
+                ti: 1 + cost.m,
+                tj: 1 + cost.n,
+                tk: shape.atd(),
+            },
+            cost: cost.eval(1, 1),
+        }
+    })
+}
+
+/// Enumerates the candidate selections across a range of array-tile depths
+/// — one `TileSelection` per non-conflicting array tile with finite cost.
+/// This is the paper's Table 1 enumeration (with trimming applied).
+pub fn euc3d_with_depths(
+    cache: CacheSpec,
+    di: usize,
+    dj: usize,
+    shape: &StencilShape,
+    depths: std::ops::RangeInclusive<usize>,
+) -> Vec<TileSelection> {
+    let cost = CostModel::from_shape(shape);
+    let mut out = Vec::new();
+    for tk in depths {
+        for at in enumerate_depth(cache.elements, di, dj, tk) {
+            let c = cost.eval_array_tile(at.ti, at.tj);
+            if c.is_finite() {
+                out.push(TileSelection {
+                    iter_tile: (at.ti - cost.m, at.tj - cost.n),
+                    array_tile: at,
+                    cost: c,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn best_at_depth(
+    c: usize,
+    di: usize,
+    dj: usize,
+    tk: usize,
+    cost: CostModel,
+) -> Option<TileSelection> {
+    let mut best: Option<TileSelection> = None;
+    for at in enumerate_depth(c, di, dj, tk) {
+        let v = cost.eval_array_tile(at.ti, at.tj);
+        if !v.is_finite() {
+            continue;
+        }
+        let cand = TileSelection {
+            iter_tile: (at.ti - cost.m, at.tj - cost.n),
+            array_tile: at,
+            cost: v,
+        };
+        if best.is_none_or(|b| cand.cost < b.cost) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CacheSpec {
+        CacheSpec::ELEMENTS_16K_DOUBLES
+    }
+
+    #[test]
+    fn paper_worked_example_200() {
+        // Section 3.3: "...the cost function is used to select the final
+        // minimum cost tile (22, 13) which originates from the array tile
+        // with TK=3, TJ=15, TI=24."
+        let sel = euc3d(spec(), 200, 200, &StencilShape::jacobi3d());
+        assert_eq!(sel.iter_tile, (22, 13));
+        assert_eq!(
+            (sel.array_tile.ti, sel.array_tile.tj, sel.array_tile.tk),
+            (24, 15, 3)
+        );
+        assert!((sel.cost - (24.0 * 15.0) / (22.0 * 13.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_341_yields_narrow_tile() {
+        // Section 3.4: "given a 341x341xM array, the best tile size
+        // available is (110, 4)".
+        let sel = euc3d(spec(), 341, 341, &StencilShape::jacobi3d());
+        assert_eq!(sel.iter_tile, (110, 4));
+    }
+
+    #[test]
+    fn deeper_depths_never_beat_atd() {
+        let shape = StencilShape::jacobi3d();
+        let cost = CostModel::from_shape(&shape);
+        for &d in &[200usize, 300, 341, 400, 365] {
+            let at_atd = best_at_depth(2048, d, d, 3, cost)
+                .unwrap_or_else(|| panic!("no depth-3 tile for di={d}"));
+            for tk in 4..=6 {
+                if let Some(deeper) = best_at_depth(2048, d, d, tk, cost) {
+                    assert!(
+                        deeper.cost >= at_atd.cost - 1e-12,
+                        "depth {tk} beat ATD for di={d}: {deeper:?} vs {at_atd:?}"
+                    );
+                }
+            }
+        }
+        // 256x256 is fully pathological: plane stride 0 mod 2048.
+        assert!(best_at_depth(2048, 256, 256, 3, cost).is_none());
+    }
+
+    #[test]
+    fn selected_tile_is_nonconflicting() {
+        use crate::nonconflict::verify_nonconflicting;
+        for &d in &[200usize, 211, 341, 365, 400] {
+            let sel = euc3d(spec(), d, d, &StencilShape::jacobi3d());
+            assert!(verify_nonconflicting(2048, d, d, &sel.array_tile), "di={d}");
+        }
+    }
+
+    #[test]
+    fn pathological_256_falls_back_to_unit_tile() {
+        // Plane stride 256*256 = 0 mod 2048: every plane conflicts, so the
+        // Fig 9 initialisation (1,1) survives.
+        let sel = euc3d(spec(), 256, 256, &StencilShape::jacobi3d());
+        assert_eq!(sel.iter_tile, (1, 1));
+        assert_eq!(sel.cost, 9.0); // (1+2)(1+2)/(1*1)
+    }
+
+    #[test]
+    fn with_depths_lists_trimmed_candidates() {
+        let cands = euc3d_with_depths(spec(), 200, 200, &StencilShape::jacobi3d(), 1..=4);
+        // Every candidate has positive trimmed dims and finite cost.
+        for c in &cands {
+            assert!(c.iter_tile.0 > 0 && c.iter_tile.1 > 0);
+            assert!(c.cost.is_finite());
+            assert_eq!(c.iter_tile.0, c.array_tile.ti - 2);
+        }
+        // The winning (22, 13) candidate is among them.
+        assert!(cands.iter().any(|c| c.iter_tile == (22, 13)));
+    }
+
+    #[test]
+    fn tiny_cache_returns_none() {
+        // A 4-element cache cannot hold any trimmed Jacobi tile.
+        let sel = euc3d_checked(
+            CacheSpec { elements: 4 },
+            100,
+            100,
+            &StencilShape::jacobi3d(),
+        );
+        assert!(sel.is_none());
+    }
+
+    #[test]
+    fn redblack_fused_uses_depth_four() {
+        let sel = euc3d(spec(), 200, 200, &StencilShape::redblack3d_fused());
+        assert_eq!(sel.array_tile.tk, 4);
+        assert!(sel.iter_tile.0 > 0 && sel.iter_tile.1 > 0);
+    }
+}

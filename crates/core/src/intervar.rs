@@ -1,0 +1,117 @@
+//! Inter-variable (cross-array) padding — Section 3.5.
+//!
+//! Tile selection eliminates *self*-interference, but kernels like RESID
+//! access several arrays, and with consecutive allocation the arrays' base
+//! addresses can collide in cache. The effect is sharpest precisely when
+//! intra-array padding has been applied: GCD padding makes the plane
+//! stride share large power-of-two factors with the cache size, so the
+//! *total array size* — and therefore the next array's base — lands on a
+//! handful of cache offsets. When it lands on offset 0, the second array's
+//! reference stream maps exactly onto the first's and every access
+//! cross-evicts (observed empirically in this repository's test suite for
+//! `K = 0 mod 4` extents).
+//!
+//! The remedy the paper sketches ("reducing one tile dimension and then
+//! applying inter-variable padding so that each array accesses data
+//! mapping to its own portion of the array tile") is implemented here as
+//! [`staggered_bases`]: lay arrays out with small gaps chosen so their
+//! base offsets modulo the cache are spread maximally apart.
+
+/// Computes byte base addresses for `count` arrays of `array_bytes` each,
+/// inserting the smallest line-aligned gaps that place consecutive arrays'
+/// base offsets `cache_bytes / count` apart modulo the cache.
+///
+/// The first array sits at 0; total extra memory is at most
+/// `(count - 1) * cache_bytes` (a few KB per array for an L1).
+///
+/// # Panics
+/// Panics unless `cache_bytes` and `line_bytes` are powers of two with
+/// `line_bytes <= cache_bytes`, or if `count == 0`.
+pub fn staggered_bases(
+    count: usize,
+    array_bytes: u64,
+    cache_bytes: u64,
+    line_bytes: u64,
+) -> Vec<u64> {
+    assert!(count > 0);
+    assert!(cache_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+    assert!(line_bytes <= cache_bytes);
+    let target_sep = (cache_bytes / count as u64) & !(line_bytes - 1);
+    let mut bases = Vec::with_capacity(count);
+    let mut next = 0u64;
+    for idx in 0..count {
+        let want = (idx as u64 * target_sep) % cache_bytes;
+        // Advance `next` to the first line-aligned address >= next whose
+        // offset mod cache equals `want`.
+        let cur = next % cache_bytes;
+        let delta = (want + cache_bytes - cur) % cache_bytes;
+        let base = next + delta;
+        bases.push(base);
+        next = base + array_bytes.next_multiple_of(line_bytes);
+    }
+    bases
+}
+
+/// The consecutive (gap-free) layout used by default — provided so callers
+/// can switch layouts symmetrically.
+pub fn consecutive_bases(count: usize, array_bytes: u64, line_bytes: u64) -> Vec<u64> {
+    assert!(count > 0 && line_bytes.is_power_of_two());
+    let stride = array_bytes.next_multiple_of(line_bytes);
+    (0..count as u64).map(|k| k * stride).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_layout_is_dense() {
+        let b = consecutive_bases(3, 1000, 32);
+        assert_eq!(b, vec![0, 1024, 2048]);
+    }
+
+    #[test]
+    fn staggered_bases_spread_offsets_mod_cache() {
+        let cache = 16 * 1024u64;
+        // Pathological array size: a multiple of the cache size.
+        let b = staggered_bases(3, 4 * cache, cache, 32);
+        let offs: Vec<u64> = b.iter().map(|x| x % cache).collect();
+        assert_eq!(offs[0], 0);
+        // Consecutive arrays ~ C/3 apart in cache, not on top of each other.
+        let sep = (offs[1] + cache - offs[0]) % cache;
+        assert!(sep >= cache / 3 - 32, "sep {sep}");
+        let sep2 = (offs[2] + cache - offs[1]) % cache;
+        assert!(sep2 >= cache / 3 - 32, "sep2 {sep2}");
+    }
+
+    #[test]
+    fn gaps_are_bounded_by_one_cache_per_array() {
+        let cache = 16 * 1024u64;
+        let array = 999_937u64; // awkward size
+        let b = staggered_bases(4, array, cache, 32);
+        for (k, &base) in b.iter().enumerate() {
+            let dense = k as u64 * array.next_multiple_of(32);
+            assert!(base >= dense);
+            assert!(
+                base - dense <= (k as u64 + 1) * cache,
+                "array {k} overpadded"
+            );
+        }
+    }
+
+    #[test]
+    fn bases_are_line_aligned_and_disjoint() {
+        let b = staggered_bases(5, 12345, 4096, 64);
+        for w in b.windows(2) {
+            assert!(w[1] >= w[0] + 12345, "arrays overlap");
+        }
+        for &x in &b {
+            assert_eq!(x % 64, 0);
+        }
+    }
+
+    #[test]
+    fn single_array_needs_no_stagger() {
+        assert_eq!(staggered_bases(1, 500, 1024, 32), vec![0]);
+    }
+}

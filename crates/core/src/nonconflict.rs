@@ -1,0 +1,386 @@
+//! Enumeration of non-conflicting array tiles on a direct-mapped cache.
+//!
+//! An array tile `(TI, TJ, TK)` of a `DI x DJ x M` column-major array
+//! consists of `TJ * TK` column segments of `TI` consecutive elements; the
+//! segment for `(j, k)` starts at element offset `(j*DI + k*DI*DJ) mod C`
+//! in a direct-mapped cache of `C` elements. The tile is **self-
+//! interference-free** exactly when those starting offsets, viewed on the
+//! circle `Z_C`, have minimum circular gap `>= TI` — then no two segments
+//! overlap.
+//!
+//! For each depth `TK` the minimum gap is a non-increasing step function of
+//! `TJ`; the *maximal* non-conflicting tiles are the breakpoints of that
+//! function (for `TK = 1` these are exactly the continued-fraction
+//! convergents of `(DI mod C)/C` — the classic Euclidean-algorithm tile
+//! sequence of Coleman & McKinley and Rivera & Tseng's `Euc`). This module
+//! provides:
+//!
+//! * [`enumerate_array_tiles`] / [`enumerate_depth`] — the incremental
+//!   breakpoint enumeration (sorted-set insertion with running minimum gap,
+//!   `O(C log C)` per depth), which reproduces the paper's Table 1;
+//! * [`euclid_tiles_2d`] — the `O(log C)` continued-fraction sequence for
+//!   the 2D / depth-1 case, cross-validated against the enumeration;
+//! * [`max_ti`] — brute-force minimum-gap for one `(TJ, TK)`;
+//! * [`verify_nonconflicting`] — an independent occupancy-vector oracle
+//!   used by the property tests.
+
+use std::collections::BTreeSet;
+
+/// A non-conflicting **array** tile: `TI x TJ` elements in each of `TK`
+/// consecutive planes. (Iteration tiles are obtained by trimming `TI`/`TJ`
+/// by the stencil spans `m`/`n`.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayTile {
+    /// Column-segment length (elements along `I`).
+    pub ti: usize,
+    /// Number of columns (extent along `J`).
+    pub tj: usize,
+    /// Depth in planes (extent along `K`).
+    pub tk: usize,
+}
+
+/// Minimum circular gap of the segment-start offsets for `tj` columns and
+/// `tk` planes of a `di x dj x M` array on a `c`-element direct-mapped
+/// cache — i.e. the largest `TI` for which `(TI, tj, tk)` is
+/// non-conflicting. Returns `0` when two segments start at the same offset
+/// (irreparable conflict).
+///
+/// Brute force (`O(tj*tk*log)`), used as a reference in tests and by the
+/// incremental enumerator's own unit tests.
+pub fn max_ti(c: usize, di: usize, dj: usize, tj: usize, tk: usize) -> usize {
+    assert!(c > 0 && tj > 0 && tk > 0);
+    let mut offs: Vec<usize> = Vec::with_capacity(tj * tk);
+    for k in 0..tk {
+        for j in 0..tj {
+            offs.push((j * di + k * di * dj) % c);
+        }
+    }
+    offs.sort_unstable();
+    if offs.len() == 1 {
+        return c;
+    }
+    let mut min_gap = c - offs[offs.len() - 1] + offs[0]; // wraparound gap
+    for w in offs.windows(2) {
+        let g = w[1] - w[0];
+        if g < min_gap {
+            min_gap = g;
+        }
+    }
+    min_gap
+}
+
+/// Enumerates the maximal non-conflicting array tiles of depth exactly
+/// `tk`, in decreasing `ti` / increasing `tj` order.
+///
+/// Runs the incremental sorted-set construction: columns are added one at a
+/// time (each contributing `tk` segment starts) while a running minimum gap
+/// is maintained; every time the gap decreases, the previous `(gap, tj)`
+/// pair is emitted as a maximal tile. Enumeration stops when two segments
+/// collide (gap 0), which by pigeonhole happens within `C/tk + 1` columns.
+pub fn enumerate_depth(c: usize, di: usize, dj: usize, tk: usize) -> Vec<ArrayTile> {
+    assert!(c > 0 && tk > 0);
+    let dj_step = di % c;
+    let dk_step = (di % c) * (dj % c) % c;
+
+    let mut set: BTreeSet<usize> = BTreeSet::new();
+    let mut min_gap = c; // gap of a single point on the circle
+    let mut tiles = Vec::new();
+    let mut prev: Option<(usize, usize)> = None; // (gap, tj)
+
+    'cols: for tj in 1..=c {
+        for k in 0..tk {
+            let x = (dj_step * (tj - 1) + dk_step * k) % c;
+            if !set.insert(x) {
+                min_gap = 0;
+            } else if set.len() > 1 {
+                // Circular predecessor / successor of x.
+                let pred = set
+                    .range(..x)
+                    .next_back()
+                    .or_else(|| set.iter().next_back());
+                let succ = set.range(x + 1..).next().or_else(|| set.iter().next());
+                let p = *pred.expect("set has >= 2 elements");
+                let s = *succ.expect("set has >= 2 elements");
+                let gap_lo = if x >= p { x - p } else { c - p + x };
+                let gap_hi = if s >= x { s - x } else { c - x + s };
+                // x == p or x == s cannot happen (insert succeeded) unless
+                // the set wraps to itself with one distinct neighbour; the
+                // circular formulas still yield the correct full-circle gap.
+                min_gap = min_gap.min(gap_lo).min(gap_hi);
+            }
+            if min_gap == 0 {
+                if let Some((g, t)) = prev {
+                    tiles.push(ArrayTile { ti: g, tj: t, tk });
+                }
+                prev = None;
+                break 'cols;
+            }
+        }
+        if let Some((g, _)) = prev {
+            if min_gap < g {
+                tiles.push(ArrayTile {
+                    ti: g,
+                    tj: tj - 1,
+                    tk,
+                });
+            }
+        }
+        prev = Some((min_gap, tj));
+    }
+    if let Some((g, t)) = prev {
+        // The gap never collapsed within the scan range (possible only for
+        // degenerate strides); emit the final plateau.
+        tiles.push(ArrayTile { ti: g, tj: t, tk });
+    }
+    tiles
+}
+
+/// Enumerates maximal non-conflicting array tiles for every depth
+/// `1 ..= tk_max` — the paper's Table 1 content.
+pub fn enumerate_array_tiles(c: usize, di: usize, dj: usize, tk_max: usize) -> Vec<ArrayTile> {
+    (1..=tk_max)
+        .flat_map(|tk| enumerate_depth(c, di, dj, tk))
+        .collect()
+}
+
+/// The classic `O(log C)` Euclidean-remainder tile sequence for 2D arrays
+/// (equivalently, depth-1 tiles of 3D arrays): pairs `(TI, TJ)` where `TI`
+/// runs over the remainders of `gcd(C, DI mod C)` and `TJ` over the
+/// continued-fraction convergent denominators of `(DI mod C)/C`.
+///
+/// For `C = 2048, DI = 200` this yields `(2048,1), (200,10), (48,41),
+/// (8,256)` — the `TK = 1` row of the paper's Table 1.
+pub fn euclid_tiles_2d(c: usize, di: usize) -> Vec<(usize, usize)> {
+    assert!(c > 0);
+    let d = di % c;
+    let mut tiles = vec![(c, 1)];
+    if d == 0 {
+        return tiles;
+    }
+    let (mut a, mut b) = (c, d);
+    let (mut s_prev2, mut s_prev) = (0usize, 1usize);
+    loop {
+        let q = a / b;
+        let r = a % b;
+        let s_new = q * s_prev + s_prev2;
+        tiles.push((b, s_new));
+        if r == 0 {
+            break;
+        }
+        a = b;
+        b = r;
+        s_prev2 = s_prev;
+        s_prev = s_new;
+    }
+    tiles
+}
+
+/// Independent oracle: marks every cache element occupied by the tile's
+/// segments and reports `true` iff no element is claimed twice.
+///
+/// Deliberately implemented differently from the gap-based reasoning (an
+/// occupancy bitmap) so that the property tests check the enumeration
+/// against genuinely independent logic.
+pub fn verify_nonconflicting(c: usize, di: usize, dj: usize, tile: &ArrayTile) -> bool {
+    let mut occupied = vec![false; c];
+    for k in 0..tile.tk {
+        for j in 0..tile.tj {
+            let start = (j * di + k * di * dj) % c;
+            for e in 0..tile.ti {
+                let cell = (start + e) % c;
+                if occupied[cell] {
+                    return false;
+                }
+                occupied[cell] = true;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The complete Table 1 of the paper (200x200xM array, 16K cache =
+    /// 2048 elements). The table omits some small-TJ entries for TK >= 3
+    /// (presentation truncation), so we check: listed entries appear
+    /// verbatim, and depths 1-2 match exactly.
+    const TABLE1: &[(usize, usize, usize)] = &[
+        // (tk, tj, ti)
+        (1, 1, 2048),
+        (1, 10, 200),
+        (1, 41, 48),
+        (1, 256, 8),
+        (2, 1, 960),
+        (2, 4, 200),
+        (2, 5, 160),
+        (2, 15, 40),
+        (3, 5, 72),
+        (3, 11, 40),
+        (3, 15, 24),
+        (4, 4, 72),
+        (4, 15, 16),
+        (4, 56, 8),
+    ];
+
+    #[test]
+    fn reproduces_paper_table1_entries() {
+        let tiles = enumerate_array_tiles(2048, 200, 200, 4);
+        for &(tk, tj, ti) in TABLE1 {
+            assert!(
+                tiles.iter().any(|t| (t.tk, t.tj, t.ti) == (tk, tj, ti)),
+                "Table 1 entry TK={tk} TJ={tj} TI={ti} missing; got {tiles:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn depths_one_and_two_match_table1_exactly() {
+        let d1 = enumerate_depth(2048, 200, 200, 1);
+        assert_eq!(
+            d1.iter().map(|t| (t.ti, t.tj)).collect::<Vec<_>>(),
+            vec![(2048, 1), (200, 10), (48, 41), (8, 256)]
+        );
+        // Table 1's TK=2 row is a prefix — the paper truncates the listing
+        // (our enumeration also finds the further breakpoint (8, 56)).
+        let d2: Vec<(usize, usize)> = enumerate_depth(2048, 200, 200, 2)
+            .iter()
+            .map(|t| (t.ti, t.tj))
+            .collect();
+        assert_eq!(&d2[..4], &[(960, 1), (200, 4), (160, 5), (40, 15)]);
+    }
+
+    #[test]
+    fn euclid_matches_depth_one_enumeration() {
+        for &di in &[200, 341, 130, 256, 300, 1000, 777] {
+            let euc = euclid_tiles_2d(2048, di);
+            let enumr: Vec<(usize, usize)> = enumerate_depth(2048, di, di, 1)
+                .iter()
+                .map(|t| (t.ti, t.tj))
+                .collect();
+            assert_eq!(euc, enumr, "mismatch for di={di}");
+        }
+    }
+
+    #[test]
+    fn euclid_handles_degenerate_strides() {
+        // DI a multiple of C: every column maps to offset 0.
+        assert_eq!(euclid_tiles_2d(1024, 2048), vec![(1024, 1)]);
+        // DI dividing C: gap collapses straight to DI.
+        let t = euclid_tiles_2d(1024, 256);
+        assert_eq!(t, vec![(1024, 1), (256, 4)]);
+    }
+
+    #[test]
+    fn enumerated_tiles_are_maximal_and_nonconflicting() {
+        for &(di, dj) in &[(200usize, 200usize), (341, 341), (130, 130), (256, 300)] {
+            for tile in enumerate_array_tiles(2048, di, dj, 4) {
+                assert!(
+                    verify_nonconflicting(2048, di, dj, &tile),
+                    "{tile:?} conflicts for dims {di}x{dj}"
+                );
+                // Maximality in TI: one more row must conflict.
+                let bigger = ArrayTile {
+                    ti: tile.ti + 1,
+                    ..tile
+                };
+                assert!(
+                    !verify_nonconflicting(2048, di, dj, &bigger),
+                    "{tile:?} not TI-maximal for dims {di}x{dj}"
+                );
+                // Maximality in TJ: one more column must shrink the gap.
+                assert!(
+                    max_ti(2048, di, dj, tile.tj + 1, tile.tk) < tile.ti,
+                    "{tile:?} not TJ-maximal for dims {di}x{dj}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_ti_agrees_with_enumeration_plateaus() {
+        let (c, di, dj) = (2048, 200, 200);
+        for tk in 1..=4 {
+            let tiles = enumerate_depth(c, di, dj, tk);
+            for t in &tiles {
+                assert_eq!(max_ti(c, di, dj, t.tj, tk), t.ti);
+            }
+        }
+    }
+
+    #[test]
+    fn single_column_single_plane_gets_whole_cache() {
+        assert_eq!(max_ti(2048, 123, 456, 1, 1), 2048);
+    }
+
+    #[test]
+    fn pathological_dimension_from_section_3_4() {
+        // "given a 341x341xM array, the best tile size available is
+        // (110, 4)" — i.e. after trimming by 2 the best Euc3D iteration
+        // tile is pathologically narrow. The underlying maximal array tile
+        // is therefore (112, 6, tk>=3). Check that nothing wider exists at
+        // reasonable cost.
+        let tiles = enumerate_depth(2048, 341, 341, 3);
+        // No tile of depth 3 offers tj >= 7 with ti >= 8 for 341:
+        let wide = tiles.iter().find(|t| t.tj >= 7 && t.ti >= 8);
+        assert!(wide.is_none(), "unexpected wide tile: {wide:?}");
+    }
+
+    #[test]
+    fn verify_rejects_overlapping_tiles() {
+        // 2 columns 8 apart in a 16-element cache: TI = 9 must overlap.
+        assert!(verify_nonconflicting(
+            16,
+            8,
+            8,
+            &ArrayTile {
+                ti: 8,
+                tj: 2,
+                tk: 1
+            }
+        ));
+        assert!(!verify_nonconflicting(
+            16,
+            8,
+            8,
+            &ArrayTile {
+                ti: 9,
+                tj: 2,
+                tk: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn proptest_enumeration_matches_bruteforce() {
+        // Deterministic pseudo-random sweep (kept dependency-light here;
+        // the heavier proptest suite lives in tests/).
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let c = 1usize << (6 + (next() % 6) as usize); // 64..=2048
+            let di = 3 + (next() % 500) as usize;
+            let dj = 3 + (next() % 500) as usize;
+            let tk = 1 + (next() % 4) as usize;
+            let tiles = enumerate_depth(c, di, dj, tk);
+            for t in &tiles {
+                assert_eq!(
+                    max_ti(c, di, dj, t.tj, tk),
+                    t.ti,
+                    "c={c} di={di} dj={dj} tk={tk} tile={t:?}"
+                );
+                assert!(verify_nonconflicting(c, di, dj, t));
+            }
+            // Gap function is non-increasing and the breakpoints decrease.
+            for w in tiles.windows(2) {
+                assert!(w[1].ti < w[0].ti && w[1].tj > w[0].tj);
+            }
+        }
+    }
+}

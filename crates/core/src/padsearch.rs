@@ -1,0 +1,135 @@
+//! The Pad transformation (Fig 11): pad search with tile selection.
+
+use crate::cost::CostModel;
+use crate::euc::{euc3d_checked, TileSelection};
+use crate::gcdpad::gcd_pad;
+use crate::plan::CacheSpec;
+use tiling3d_loopnest::StencilShape;
+
+/// Result of `Pad`: the selected tile plus the (usually small) pads that
+/// enabled it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PadPlan {
+    /// The Euc3D selection for the padded dimensions.
+    pub selection: TileSelection,
+    /// Padded leading dimension (`di <= di_p <= GcdPad's di_p`).
+    pub di_p: usize,
+    /// Padded middle dimension (`dj <= dj_p <= GcdPad's dj_p`).
+    pub dj_p: usize,
+}
+
+/// `Pad` (Fig 11): run `GcdPad` to obtain a cost threshold `Cost*` and an
+/// upper bound on pads, then scan pad candidates `DI..=DI_g x DJ..=DJ_g`
+/// running `Euc3D` on each, returning the **first** padded dimensions whose
+/// best tile costs no more than `Cost*`.
+///
+/// Because the search space includes `GcdPad`'s own dimensions (for which
+/// `Euc3D` can always recover a tile at least as good as `GcdPad`'s), the
+/// search always terminates with a plan whose cost `<= Cost*` and whose
+/// padding overhead is `<=` `GcdPad`'s — usually far less (Fig 22: 4.7% vs
+/// 14.7% average memory increase for JACOBI).
+pub fn pad(cache: CacheSpec, di: usize, dj: usize, shape: &StencilShape) -> PadPlan {
+    let g = gcd_pad(cache, di, dj, shape);
+    let cost = CostModel::from_shape(shape);
+    let cost_star = cost.eval(g.iter_tile.0 as i64, g.iter_tile.1 as i64);
+
+    for di_p in di..=g.di_p {
+        for dj_p in dj..=g.dj_p {
+            if let Some(sel) = euc3d_checked(cache, di_p, dj_p, shape) {
+                if sel.cost <= cost_star + 1e-12 {
+                    return PadPlan {
+                        selection: sel,
+                        di_p,
+                        dj_p,
+                    };
+                }
+            }
+        }
+    }
+
+    // Unreachable when GcdPad's invariants hold; keep a deterministic
+    // fallback to the GcdPad dimensions for robustness.
+    let sel = euc3d_checked(cache, g.di_p, g.dj_p, shape)
+        .expect("Euc3D must find a tile at GcdPad's own dimensions");
+    PadPlan {
+        selection: sel,
+        di_p: g.di_p,
+        dj_p: g.dj_p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiling3d_loopnest::StencilShape;
+
+    fn spec() -> CacheSpec {
+        CacheSpec { elements: 2048 }
+    }
+
+    #[test]
+    fn pad_overhead_never_exceeds_gcdpad() {
+        let shape = StencilShape::jacobi3d();
+        for d in (200..=400).step_by(7) {
+            let g = gcd_pad(spec(), d, d, &shape);
+            let p = pad(spec(), d, d, &shape);
+            assert!(p.di_p >= d && p.di_p <= g.di_p, "d={d}");
+            assert!(p.dj_p >= d && p.dj_p <= g.dj_p, "d={d}");
+        }
+    }
+
+    #[test]
+    fn pad_cost_beats_or_matches_gcdpad() {
+        let shape = StencilShape::jacobi3d();
+        let cost = CostModel::from_shape(&shape);
+        for d in (200..=400).step_by(13) {
+            let g = gcd_pad(spec(), d, d, &shape);
+            let cost_star = cost.eval(g.iter_tile.0 as i64, g.iter_tile.1 as i64);
+            let p = pad(spec(), d, d, &shape);
+            assert!(
+                p.selection.cost <= cost_star + 1e-12,
+                "d={d}: pad cost {} > Cost* {}",
+                p.selection.cost,
+                cost_star
+            );
+        }
+    }
+
+    #[test]
+    fn pad_rescues_the_pathological_341_case() {
+        // Unpadded Euc3D gets the degenerate (110, 4) tile for 341; Pad
+        // must find a small pad enabling a much squarer tile.
+        let shape = StencilShape::jacobi3d();
+        let p = pad(spec(), 341, 341, &shape);
+        let unpadded = crate::euc::euc3d(spec(), 341, 341, &shape);
+        assert!(p.selection.cost < unpadded.cost);
+        let (ti, tj) = p.selection.iter_tile;
+        assert!(tj >= 8, "expected a non-degenerate TJ, got ({ti}, {tj})");
+    }
+
+    #[test]
+    fn already_good_dimensions_need_no_padding() {
+        // 200x200 already admits the good (22,13) tile whose cost beats
+        // GcdPad's (30,14) threshold? cost(22,13)=1.2587 vs
+        // cost(30,14)=(32*16)/(30*14)=1.219 — GcdPad is better here, so
+        // *some* padding may be selected; but the pads must stay small and
+        // the result non-degenerate.
+        let shape = StencilShape::jacobi3d();
+        let p = pad(spec(), 200, 200, &shape);
+        assert!(p.di_p - 200 <= 63 && p.dj_p - 200 <= 31);
+        assert!(p.selection.cost.is_finite());
+    }
+
+    #[test]
+    fn selected_tile_is_nonconflicting_for_padded_dims() {
+        use crate::nonconflict::verify_nonconflicting;
+        let shape = StencilShape::jacobi3d();
+        for d in [207usize, 256, 300, 341, 384] {
+            let p = pad(spec(), d, d, &shape);
+            assert!(
+                verify_nonconflicting(2048, p.di_p, p.dj_p, &p.selection.array_tile),
+                "d={d}: {p:?}"
+            );
+        }
+    }
+}

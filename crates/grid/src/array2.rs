@@ -1,0 +1,184 @@
+//! Two-dimensional padded column-major arrays.
+//!
+//! Used by the 2D stencil kernels that motivate the paper's Section 1
+//! argument (why 2D PDE solvers rarely need tiling) and by 2D tile-selection
+//! tests.
+
+/// A dense 2D array in column-major (Fortran) order with an optionally
+/// padded leading dimension.
+///
+/// Element `(i, j)` lives at linear offset `i + di * j` where `di >= ni` is
+/// the allocated column length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Array2<T> {
+    data: Vec<T>,
+    ni: usize,
+    nj: usize,
+    di: usize,
+}
+
+impl<T: Copy + Default> Array2<T> {
+    /// Creates an unpadded `ni x nj` array filled with `T::default()`.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    pub fn new(ni: usize, nj: usize) -> Self {
+        Self::with_padding(ni, nj, ni)
+    }
+
+    /// Creates an `ni x nj` logical array with allocated column length `di`.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero or `di < ni`.
+    pub fn with_padding(ni: usize, nj: usize, di: usize) -> Self {
+        assert!(ni > 0 && nj > 0, "extents must be nonzero");
+        assert!(di >= ni, "padded leading dim {di} < logical {ni}");
+        Array2 {
+            data: vec![T::default(); di * nj],
+            ni,
+            nj,
+            di,
+        }
+    }
+
+    /// Logical extent along `I` (unit stride).
+    #[inline]
+    pub fn ni(&self) -> usize {
+        self.ni
+    }
+
+    /// Logical extent along `J`.
+    #[inline]
+    pub fn nj(&self) -> usize {
+        self.nj
+    }
+
+    /// Allocated leading dimension (column stride).
+    #[inline]
+    pub fn di(&self) -> usize {
+        self.di
+    }
+
+    /// Total allocated elements including padding.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no elements are allocated (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Linear element offset of `(i, j)` under the allocated layout.
+    #[inline(always)]
+    pub fn offset_of(&self, i: usize, j: usize) -> usize {
+        i + self.di * j
+    }
+
+    /// Reads element `(i, j)`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.di && j < self.nj);
+        self.data[self.offset_of(i, j)]
+    }
+
+    /// Writes element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.di && j < self.nj);
+        let off = self.offset_of(i, j);
+        self.data[off] = v;
+    }
+
+    /// Flat backing storage (including pad elements).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Fills every allocated element with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Applies `f(i, j)` to every logical element.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize) -> T) {
+        for j in 0..self.nj {
+            for i in 0..self.ni {
+                let off = self.offset_of(i, j);
+                self.data[off] = f(i, j);
+            }
+        }
+    }
+}
+
+impl Array2<f64> {
+    /// True when the logical regions are bitwise equal (padding may differ).
+    pub fn logical_eq(&self, other: &Self) -> bool {
+        if (self.ni, self.nj) != (other.ni, other.nj) {
+            return false;
+        }
+        for j in 0..self.nj {
+            for i in 0..self.ni {
+                if self.get(i, j).to_bits() != other.get(i, j).to_bits() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_column_major() {
+        let a = Array2::<f64>::new(7, 5);
+        assert_eq!(a.offset_of(0, 0), 0);
+        assert_eq!(a.offset_of(1, 0), 1);
+        assert_eq!(a.offset_of(0, 1), 7);
+        assert_eq!(a.offset_of(6, 4), 6 + 28);
+    }
+
+    #[test]
+    fn padded_column_stride() {
+        let a = Array2::<f64>::with_padding(7, 5, 16);
+        assert_eq!(a.offset_of(0, 1), 16);
+        assert_eq!(a.len(), 80);
+    }
+
+    #[test]
+    fn fill_with_and_get() {
+        let mut a = Array2::<f64>::with_padding(3, 4, 5);
+        a.fill_with(|i, j| (10 * i + j) as f64);
+        assert_eq!(a.get(2, 3), 23.0);
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn logical_eq_across_padding() {
+        let mut a = Array2::<f64>::new(4, 4);
+        let mut b = Array2::<f64>::with_padding(4, 4, 9);
+        a.fill_with(|i, j| (i * j) as f64);
+        b.fill_with(|i, j| (i * j) as f64);
+        assert!(a.logical_eq(&b));
+        b.set(3, 3, -1.0);
+        assert!(!a.logical_eq(&b));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_extent_panics() {
+        let _ = Array2::<f64>::new(0, 3);
+    }
+}

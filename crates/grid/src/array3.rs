@@ -1,0 +1,354 @@
+//! Three-dimensional padded column-major arrays.
+
+/// A dense 3D array in column-major (Fortran) order with optional padding of
+/// the two lower (leading) dimensions.
+///
+/// The element `(i, j, k)` lives at linear offset `i + di * (j + dj * k)`
+/// where `di`/`dj` are the *allocated* leading dimensions. The logical
+/// extents `ni <= di` and `nj <= dj` bound the region kernels operate on;
+/// elements in the pad region are allocated (and initialised to `T::default()`)
+/// but never read by kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Array3<T> {
+    data: Vec<T>,
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    di: usize,
+    dj: usize,
+}
+
+impl<T: Copy + Default> Array3<T> {
+    /// Creates an unpadded `ni x nj x nk` array filled with `T::default()`.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    pub fn new(ni: usize, nj: usize, nk: usize) -> Self {
+        Self::with_padding(ni, nj, nk, ni, nj)
+    }
+
+    /// Creates an `ni x nj x nk` logical array allocated as `di x dj x nk`.
+    ///
+    /// This is the storage-level realisation of *intra-array padding*: the
+    /// stencil still sweeps `ni x nj x nk` points but column stride is `di`
+    /// and plane stride is `di * dj`.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero, or if `di < ni` or `dj < nj`.
+    pub fn with_padding(ni: usize, nj: usize, nk: usize, di: usize, dj: usize) -> Self {
+        assert!(ni > 0 && nj > 0 && nk > 0, "extents must be nonzero");
+        assert!(di >= ni, "padded leading dim {di} < logical {ni}");
+        assert!(dj >= nj, "padded middle dim {dj} < logical {nj}");
+        Array3 {
+            data: vec![T::default(); di * dj * nk],
+            ni,
+            nj,
+            nk,
+            di,
+            dj,
+        }
+    }
+
+    /// Re-allocates `self`'s logical contents into an array with different
+    /// padding, copying the logical region. Useful to compare padded and
+    /// unpadded runs on identical data.
+    pub fn repadded(&self, di: usize, dj: usize) -> Self {
+        let mut out = Self::with_padding(self.ni, self.nj, self.nk, di, dj);
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    out.set(i, j, k, self.get(i, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Logical extent along `I` (unit-stride dimension).
+    #[inline]
+    pub fn ni(&self) -> usize {
+        self.ni
+    }
+
+    /// Logical extent along `J`.
+    #[inline]
+    pub fn nj(&self) -> usize {
+        self.nj
+    }
+
+    /// Logical extent along `K` (outermost dimension).
+    #[inline]
+    pub fn nk(&self) -> usize {
+        self.nk
+    }
+
+    /// Allocated (declared) leading dimension; the stride between columns.
+    #[inline]
+    pub fn di(&self) -> usize {
+        self.di
+    }
+
+    /// Allocated (declared) middle dimension; `di * dj` is the plane stride.
+    #[inline]
+    pub fn dj(&self) -> usize {
+        self.dj
+    }
+
+    /// Stride in elements between consecutive `K` planes.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        self.di * self.dj
+    }
+
+    /// Total allocated elements, including padding.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no elements are allocated (never true for constructed arrays).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Linear element offset of `(i, j, k)` under the allocated layout.
+    ///
+    /// This is the quantity cache-mapping analysis works with: two elements
+    /// conflict in a direct-mapped cache of `C` elements when their offsets
+    /// are congruent modulo `C` (after scaling to lines).
+    #[inline(always)]
+    pub fn offset_of(&self, i: usize, j: usize, k: usize) -> usize {
+        i + self.di * (j + self.dj * k)
+    }
+
+    /// Reads element `(i, j, k)` with bounds checks against the *allocated*
+    /// extents.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> T {
+        debug_assert!(i < self.di && j < self.dj && k < self.nk);
+        self.data[self.offset_of(i, j, k)]
+    }
+
+    /// Writes element `(i, j, k)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: T) {
+        debug_assert!(i < self.di && j < self.dj && k < self.nk);
+        let off = self.offset_of(i, j, k);
+        self.data[off] = v;
+    }
+
+    /// The flat backing storage (including pad elements).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat backing storage (including pad elements).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Fills every allocated element (logical and pad) with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.fill(v);
+    }
+
+    /// Applies `f(i, j, k)` to every *logical* element.
+    pub fn fill_with(&mut self, mut f: impl FnMut(usize, usize, usize) -> T) {
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    let off = self.offset_of(i, j, k);
+                    self.data[off] = f(i, j, k);
+                }
+            }
+        }
+    }
+
+    /// Iterates `(i, j, k, value)` over the logical region in storage order.
+    pub fn iter_logical(&self) -> impl Iterator<Item = (usize, usize, usize, T)> + '_ {
+        (0..self.nk).flat_map(move |k| {
+            (0..self.nj).flat_map(move |j| (0..self.ni).map(move |i| (i, j, k, self.get(i, j, k))))
+        })
+    }
+
+    /// Splits the backing store into disjoint mutable K-slabs of
+    /// `planes_per_slab` planes each (the last slab may be shorter).
+    ///
+    /// This is the primitive used by the scoped-thread parallel sweeps: each
+    /// slab covers whole `K` planes, so writes from different threads never
+    /// alias.
+    pub fn k_slabs_mut(&mut self, planes_per_slab: usize) -> Vec<&mut [T]> {
+        assert!(planes_per_slab > 0);
+        let ps = self.plane_stride();
+        self.data.chunks_mut(ps * planes_per_slab).collect()
+    }
+}
+
+impl Array3<f64> {
+    /// Sum of all logical elements (pad excluded); handy for cheap checksums
+    /// in tests and benchmarks.
+    pub fn logical_sum(&self) -> f64 {
+        let mut s = 0.0;
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    s += self.get(i, j, k);
+                }
+            }
+        }
+        s
+    }
+
+    /// True when the logical regions of `self` and `other` are bitwise equal.
+    /// The arrays may carry different padding.
+    pub fn logical_eq(&self, other: &Self) -> bool {
+        if (self.ni, self.nj, self.nk) != (other.ni, other.nj, other.nk) {
+            return false;
+        }
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    if self.get(i, j, k).to_bits() != other.get(i, j, k).to_bits() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute difference over the logical region.
+    ///
+    /// # Panics
+    /// Panics if logical extents differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!((self.ni, self.nj, self.nk), (other.ni, other.nj, other.nk));
+        let mut m: f64 = 0.0;
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    m = m.max((self.get(i, j, k) - other.get(i, j, k)).abs());
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_column_major() {
+        let a = Array3::<f64>::new(4, 5, 6);
+        assert_eq!(a.offset_of(0, 0, 0), 0);
+        assert_eq!(a.offset_of(1, 0, 0), 1);
+        assert_eq!(a.offset_of(0, 1, 0), 4);
+        assert_eq!(a.offset_of(0, 0, 1), 20);
+        assert_eq!(a.offset_of(3, 4, 5), 3 + 4 * 4 + 20 * 5);
+    }
+
+    #[test]
+    fn padding_changes_strides_not_logical_extents() {
+        let a = Array3::<f64>::with_padding(4, 5, 6, 7, 9);
+        assert_eq!(a.ni(), 4);
+        assert_eq!(a.nj(), 5);
+        assert_eq!(a.di(), 7);
+        assert_eq!(a.dj(), 9);
+        assert_eq!(a.offset_of(0, 1, 0), 7);
+        assert_eq!(a.plane_stride(), 63);
+        assert_eq!(a.len(), 7 * 9 * 6);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = Array3::<f64>::with_padding(3, 3, 3, 5, 4);
+        let mut v = 0.0;
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    a.set(i, j, k, v);
+                    v += 1.0;
+                }
+            }
+        }
+        let mut expect = 0.0;
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    assert_eq!(a.get(i, j, k), expect);
+                    expect += 1.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repadded_preserves_logical_contents() {
+        let mut a = Array3::<f64>::new(6, 5, 4);
+        a.fill_with(|i, j, k| (i * 100 + j * 10 + k) as f64);
+        let b = a.repadded(11, 7);
+        assert!(a.logical_eq(&b));
+        assert_eq!(b.di(), 11);
+        // And back again.
+        let c = b.repadded(6, 5);
+        assert!(a.logical_eq(&c));
+    }
+
+    #[test]
+    fn logical_eq_ignores_pad_contents() {
+        let mut a = Array3::<f64>::with_padding(2, 2, 2, 4, 4);
+        let mut b = Array3::<f64>::with_padding(2, 2, 2, 3, 5);
+        a.fill_with(|i, j, k| (i + j + k) as f64);
+        b.fill_with(|i, j, k| (i + j + k) as f64);
+        // Scribble into a pad element of `a` only.
+        a.set(3, 3, 1, 99.0);
+        assert!(a.logical_eq(&b));
+    }
+
+    #[test]
+    fn k_slabs_cover_whole_array_disjointly() {
+        let mut a = Array3::<f64>::new(4, 4, 10);
+        let ps = a.plane_stride();
+        let slabs = a.k_slabs_mut(3);
+        assert_eq!(slabs.len(), 4); // 3+3+3+1 planes
+        let total: usize = slabs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, ps * 10);
+        assert_eq!(slabs[3].len(), ps);
+    }
+
+    #[test]
+    fn iter_logical_visits_in_storage_order() {
+        let mut a = Array3::<f64>::with_padding(2, 2, 2, 3, 3);
+        a.fill_with(|i, j, k| (i + 2 * j + 4 * k) as f64);
+        let visited: Vec<_> = a.iter_logical().map(|(_, _, _, v)| v as usize).collect();
+        assert_eq!(visited, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn logical_sum_excludes_pad() {
+        let mut a = Array3::<f64>::with_padding(2, 2, 1, 8, 8);
+        a.fill(5.0); // fills pad too
+        assert_eq!(a.logical_sum(), 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn padding_smaller_than_logical_panics() {
+        let _ = Array3::<f64>::with_padding(10, 10, 10, 9, 10);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let mut a = Array3::<f64>::new(3, 3, 3);
+        let mut b = a.clone();
+        a.fill_with(|_, _, _| 1.0);
+        b.fill_with(|_, _, _| 1.0);
+        b.set(2, 1, 0, 1.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

@@ -1,0 +1,44 @@
+//! Padded column-major 2D/3D array storage for stencil computations.
+//!
+//! This crate provides the data substrate for the `tiling3d` workspace: dense
+//! `f64` (generic over `T`) arrays laid out in **column-major** (Fortran)
+//! order, exactly as the Fortran benchmarks studied by Rivera & Tseng
+//! (SC 2000) store them. The essential feature is the distinction between
+//!
+//! * the **logical** extents (`ni`, `nj`, `nk`) — the region the stencil
+//!   kernels compute over, and
+//! * the **allocated** extents (`di`, `dj`, `dk`) — the array dimensions as
+//!   declared, which *inter-* and *intra-array padding* transformations may
+//!   enlarge (`di >= ni`, `dj >= nj`).
+//!
+//! The linear (element) offset of `A(I,J,K)` is `I + di*(J + dj*K)`, matching
+//! Fortran's `A(DI,DJ,DK)` declaration. Padding the *leading* dimensions
+//! changes the stride between columns and planes — which is precisely how the
+//! `GcdPad`/`Pad` transformations of the paper steer cache mapping — without
+//! changing the logical computation.
+//!
+//! # Example
+//!
+//! ```
+//! use tiling3d_grid::Array3;
+//!
+//! // A 200 x 200 x 30 logical grid, padded to 224 x 208 in the lower dims.
+//! let mut a = Array3::<f64>::with_padding(200, 200, 30, 224, 208);
+//! a.set(1, 2, 3, 7.5);
+//! assert_eq!(a.get(1, 2, 3), 7.5);
+//! // Column stride reflects the padded leading dimension:
+//! assert_eq!(a.offset_of(0, 1, 0), 224);
+//! assert_eq!(a.offset_of(0, 0, 1), 224 * 208);
+//! ```
+
+#![warn(missing_docs)]
+
+mod array2;
+mod array3;
+mod init;
+mod norms;
+
+pub use array2::Array2;
+pub use array3::Array3;
+pub use init::{fill_linear3, fill_random, fill_random2, fill_separable, Xorshift64};
+pub use norms::{l2_norm, linf_diff, linf_norm, max_abs_diff2, ulp_equal};

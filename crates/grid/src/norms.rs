@@ -1,0 +1,116 @@
+//! Norms and floating-point comparison helpers.
+
+use crate::{Array2, Array3};
+
+/// L2 norm over the logical region of a 3D array.
+pub fn l2_norm(a: &Array3<f64>) -> f64 {
+    let mut s = 0.0;
+    for (_, _, _, v) in a.iter_logical() {
+        s += v * v;
+    }
+    s.sqrt()
+}
+
+/// L-infinity norm over the logical region of a 3D array.
+pub fn linf_norm(a: &Array3<f64>) -> f64 {
+    let mut m: f64 = 0.0;
+    for (_, _, _, v) in a.iter_logical() {
+        m = m.max(v.abs());
+    }
+    m
+}
+
+/// L-infinity norm of the difference of two 3D arrays' logical regions.
+///
+/// # Panics
+/// Panics if logical extents differ.
+pub fn linf_diff(a: &Array3<f64>, b: &Array3<f64>) -> f64 {
+    a.max_abs_diff(b)
+}
+
+/// Maximum absolute elementwise difference between two 2D arrays.
+///
+/// # Panics
+/// Panics if logical extents differ.
+pub fn max_abs_diff2(a: &Array2<f64>, b: &Array2<f64>) -> f64 {
+    assert_eq!((a.ni(), a.nj()), (b.ni(), b.nj()));
+    let mut m: f64 = 0.0;
+    for j in 0..a.nj() {
+        for i in 0..a.ni() {
+            m = m.max((a.get(i, j) - b.get(i, j)).abs());
+        }
+    }
+    m
+}
+
+/// True when `a` and `b` differ by at most `max_ulps` units in the last
+/// place (and have the same sign), or are exactly equal.
+///
+/// Tiling reorders iterations, never the operands *within* one stencil
+/// expression, so tiled results are bitwise identical to the original; this
+/// looser check exists for cross-variant comparisons (e.g. fused vs naive
+/// red-black, which legitimately reassociate nothing but interleave sweeps).
+pub fn ulp_equal(a: f64, b: f64, max_ulps: u64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() || (a < 0.0) != (b < 0.0) {
+        return false;
+    }
+    let (ua, ub) = (a.to_bits() & !(1 << 63), b.to_bits() & !(1 << 63));
+    ua.abs_diff(ub) <= max_ulps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_of_unit_field() {
+        let mut a = Array3::<f64>::new(2, 2, 2);
+        a.fill_with(|_, _, _| 1.0);
+        assert!((l2_norm(&a) - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linf_picks_max_magnitude() {
+        let mut a = Array3::<f64>::new(2, 2, 2);
+        a.fill_with(|i, _, _| if i == 1 { -3.0 } else { 1.0 });
+        assert_eq!(linf_norm(&a), 3.0);
+    }
+
+    #[test]
+    fn ulp_equal_accepts_adjacent_floats() {
+        let x = 1.0f64;
+        let y = f64::from_bits(x.to_bits() + 1);
+        assert!(ulp_equal(x, y, 1));
+        assert!(!ulp_equal(x, y, 0));
+    }
+
+    #[test]
+    fn ulp_equal_rejects_sign_mismatch_and_nan() {
+        assert!(!ulp_equal(1.0, -1.0, u64::MAX));
+        assert!(!ulp_equal(f64::NAN, f64::NAN, u64::MAX));
+        assert!(ulp_equal(0.0, -0.0, 0)); // 0.0 == -0.0
+    }
+
+    #[test]
+    fn diff_norms_between_padded_arrays() {
+        let mut a = Array3::<f64>::new(3, 3, 3);
+        let mut b = Array3::<f64>::with_padding(3, 3, 3, 6, 4);
+        a.fill_with(|i, j, k| (i + j + k) as f64);
+        b.fill_with(|i, j, k| (i + j + k) as f64);
+        assert_eq!(linf_diff(&a, &b), 0.0);
+        b.set(0, 0, 0, 2.0);
+        assert_eq!(linf_diff(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn max_abs_diff2_works() {
+        let mut a = Array2::<f64>::new(3, 3);
+        let mut b = Array2::<f64>::with_padding(3, 3, 5);
+        a.fill_with(|i, j| (i + j) as f64);
+        b.fill_with(|i, j| (i + j) as f64);
+        assert_eq!(max_abs_diff2(&a, &b), 0.0);
+    }
+}

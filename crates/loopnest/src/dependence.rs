@@ -1,0 +1,214 @@
+//! Data-dependence analysis for stencil nests.
+//!
+//! The paper's transformation (tile `J`/`I`, leave `K` intact) is legal for
+//! its kernels, but a compiler must *prove* that. For the stencil program
+//! class — one statement, constant offsets — dependences have constant
+//! distance vectors, and the classical legality conditions reduce to
+//! simple lexicographic checks:
+//!
+//! * **out-of-place** sweeps (`A = f(B)`, Jacobi/RESID) carry no
+//!   loop-borne dependences at all: every reordering is legal;
+//! * **in-place** sweeps (`A = f(A)`, SOR-style) carry one dependence per
+//!   stencil offset; tiling a loop band is legal iff every distance vector
+//!   is non-negative in the band's dimensions (full permutability);
+//! * the **fused red-black** schedule is the interesting case: the
+//!   dependences red→black span one plane, which is why Fig 12's tiled
+//!   version must *skew* tile origins by `K - KK` instead of tiling
+//!   rectangularly.
+//!
+//! Distance vectors are expressed in iteration order `(dk, dj, di)` —
+//! outermost loop first — so lexicographic positivity matches execution
+//! order.
+
+use crate::shape::StencilShape;
+
+/// Dependence kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Write happens before the read (true/flow dependence).
+    Flow,
+    /// Read happens before the write (anti dependence).
+    Anti,
+}
+
+/// One constant-distance dependence between iterations of a nest, distance
+/// in iteration order `(dk, dj, di)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Distance vector `(dk, dj, di)`, lexicographically positive.
+    pub distance: (i32, i32, i32),
+    /// Flow or anti.
+    pub kind: DepKind,
+}
+
+/// True when `v` is lexicographically positive (the source iteration
+/// precedes the sink in original execution order).
+pub fn lex_positive(v: (i32, i32, i32)) -> bool {
+    v > (0, 0, 0)
+}
+
+/// Dependences of an **in-place** single-statement stencil
+/// `A(i,j,k) = f(A(i+o) for o in shape)`.
+///
+/// For each nonzero read offset `o` (in `(di, dj, dk)` form):
+/// * if `o` is lexicographically positive in iteration order, the read at
+///   iteration `p` sees the element written at the *later* iteration
+///   `p + o` — an **anti** dependence with distance `o`;
+/// * otherwise the read sees the value written at the *earlier* iteration
+///   `p + o` — a **flow** dependence with distance `-o`.
+///
+/// All returned distances are lexicographically positive.
+pub fn inplace_dependences(shape: &StencilShape) -> Vec<Dependence> {
+    let mut out = Vec::new();
+    for &(di, dj, dk) in shape.offsets() {
+        if (di, dj, dk) == (0, 0, 0) {
+            continue; // read and write of the same element in one statement
+        }
+        let dist_iter_order = (dk, dj, di);
+        if lex_positive(dist_iter_order) {
+            out.push(Dependence {
+                distance: dist_iter_order,
+                kind: DepKind::Anti,
+            });
+        } else {
+            out.push(Dependence {
+                distance: (-dk, -dj, -di),
+                kind: DepKind::Flow,
+            });
+        }
+    }
+    out
+}
+
+/// Dependences of an **out-of-place** stencil (`A = f(B)`, distinct
+/// arrays): none are carried by the sweep loops.
+pub fn outofplace_dependences(_shape: &StencilShape) -> Vec<Dependence> {
+    Vec::new()
+}
+
+/// True when reordering the loops by `perm` (indices into the original
+/// `(K, J, I)` order, outermost first) keeps every dependence
+/// lexicographically positive — the classical permutation legality test.
+pub fn permutation_legal(deps: &[Dependence], perm: [usize; 3]) -> bool {
+    deps.iter().all(|d| {
+        let v = [d.distance.0, d.distance.1, d.distance.2];
+        lex_positive((v[perm[0]], v[perm[1]], v[perm[2]]))
+    })
+}
+
+/// True when the loop band `band` (subset of {0=K,1=J,2=I}) is *fully
+/// permutable*: every dependence distance is non-negative in each band
+/// dimension. Tiling a band (strip-mine + permute the tile-controlling
+/// loops outward) is legal exactly under this condition.
+pub fn band_fully_permutable(deps: &[Dependence], band: &[usize]) -> bool {
+    deps.iter().all(|d| {
+        let v = [d.distance.0, d.distance.1, d.distance.2];
+        band.iter().all(|&dim| v[dim] >= 0)
+    })
+}
+
+/// Legality of the paper's transformation — tiling the inner `(J, I)` band
+/// with the `K` loop run in full inside each tile — for a nest with the
+/// given dependences.
+///
+/// Moving `JJ`/`II` outermost reorders iterations so that, inside one
+/// tile, `K` advances while other tiles' `(J, I)` iterations are deferred;
+/// this is legal iff the `(J, I)` band is fully permutable **and** no
+/// dependence needs a `(J, I)` step backwards across a `K` step, which for
+/// constant distances reduces to: every dependence with `dk > 0` also has
+/// `dj >= 0` and `di >= 0`.
+pub fn jj_ii_tiling_legal(deps: &[Dependence]) -> bool {
+    band_fully_permutable(deps, &[1, 2])
+        && deps
+            .iter()
+            .all(|d| d.distance.0 == 0 || (d.distance.1 >= 0 && d.distance.2 >= 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_out_of_place_has_no_deps_and_everything_is_legal() {
+        let deps = outofplace_dependences(&StencilShape::jacobi3d());
+        assert!(deps.is_empty());
+        for perm in [[0, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            assert!(permutation_legal(&deps, perm));
+        }
+        assert!(jj_ii_tiling_legal(&deps));
+    }
+
+    #[test]
+    fn inplace_distances_are_lex_positive() {
+        for shape in [
+            StencilShape::jacobi3d(),
+            StencilShape::redblack3d(),
+            StencilShape::resid27(),
+        ] {
+            for d in inplace_dependences(&shape) {
+                assert!(lex_positive(d.distance), "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_six_point_dependences() {
+        // The 6 face offsets give 3 anti (positive side) + 3 flow
+        // (negative side) deps, all with unit distances.
+        let deps = inplace_dependences(&StencilShape::jacobi3d());
+        assert_eq!(deps.len(), 6);
+        let anti = deps.iter().filter(|d| d.kind == DepKind::Anti).count();
+        assert_eq!(anti, 3);
+        for d in &deps {
+            assert!(matches!(d.distance, (1, 0, 0) | (0, 1, 0) | (0, 0, 1)));
+        }
+    }
+
+    #[test]
+    fn inplace_stencil_is_fully_permutable_hence_tilable() {
+        let deps = inplace_dependences(&StencilShape::jacobi3d());
+        assert!(band_fully_permutable(&deps, &[0, 1, 2]));
+        assert!(jj_ii_tiling_legal(&deps));
+        // And any loop permutation is legal (all unit positive distances).
+        for perm in [[0, 1, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert!(permutation_legal(&deps, perm));
+        }
+    }
+
+    #[test]
+    fn skewed_dependence_blocks_rectangular_tiling() {
+        // A dependence (dk, dj, di) = (1, -1, 0) — "next plane, previous
+        // row", the shape of the fused red-black cross-plane dependence —
+        // breaks rectangular JJ/II tiling (a J-backward step across K),
+        // which is exactly why Fig 12 skews tile origins by K - KK.
+        let deps = [Dependence {
+            distance: (1, -1, 0),
+            kind: DepKind::Flow,
+        }];
+        assert!(!jj_ii_tiling_legal(&deps));
+        assert!(!band_fully_permutable(&deps, &[1]));
+        // The original order is still fine (lex positive)...
+        assert!(permutation_legal(&deps, [0, 1, 2]));
+        // ...but J cannot be moved outside K.
+        assert!(!permutation_legal(&deps, [1, 0, 2]));
+    }
+
+    #[test]
+    fn time_step_loop_needs_skewing() {
+        // Fig 5's time-step loop around a stencil: dependences
+        // (dt, dj, di) = (1, o_j, o_i) for each offset o. Treating T as
+        // the outer "K", rectangular tiling of (J, I) is illegal — the
+        // motivation for time skewing (Song & Li; Wonnacott), which the
+        // paper contrasts with its own K-loop-preserving scheme.
+        let shape = StencilShape::jacobi2d();
+        let deps: Vec<Dependence> = shape
+            .offsets()
+            .iter()
+            .map(|&(di, dj, _)| Dependence {
+                distance: (1, dj, di),
+                kind: DepKind::Flow,
+            })
+            .collect();
+        assert!(!jj_ii_tiling_legal(&deps));
+    }
+}

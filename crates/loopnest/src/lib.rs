@@ -1,0 +1,49 @@
+//! A miniature loop-transformation framework for stencil nests.
+//!
+//! The paper's transformations are *compiler* transformations: strip-mine
+//! the inner two loops of a 3D stencil nest, permute the tile-controlling
+//! loops outermost (Fig 6), and optionally pad the array's leading
+//! dimensions. This crate models exactly that class of programs:
+//!
+//! * [`StencilShape`] — a stencil as a set of constant offsets
+//!   `(di, dj, dk)` from the loop indices, with the derived quantities the
+//!   paper's cost model needs: trim amounts `m`/`n` and the array-tile
+//!   depth (ATD);
+//! * [`IterSpace`] — rectangular 3D iteration spaces with Fortran loop
+//!   order (`K` outer, `I` inner), plus [`for_each_tiled`] implementing the
+//!   paper's JJ/II tiling schedule;
+//! * [`Nest`] — a tiny loop IR over which [`Nest::tile`] performs
+//!   strip-mine + permute, and whose interpreter replays the exact address
+//!   stream of the (transformed) nest into any [`Trace`] consumer;
+//! * [`reuse`] — the capacity analysis behind Section 1 of the paper: why
+//!   2D stencils keep group reuse up to column length ~`C/2` while 3D
+//!   stencils lose it beyond plane size `sqrt(C/(ATD-1))`.
+//!
+//! # Example: the paper's Section 1 boundary numbers
+//!
+//! ```
+//! use tiling3d_loopnest::{reuse, StencilShape};
+//!
+//! let jacobi3 = StencilShape::jacobi3d();
+//! // 16K L1 (2048 doubles): reuse lost beyond 32 x 32 x M ...
+//! assert_eq!(reuse::max_plane_extent(2048, &jacobi3), 32);
+//! // ... and 2M L2 (262144 doubles): lost beyond 362 x 362 x M.
+//! assert_eq!(reuse::max_plane_extent(262_144, &jacobi3), 362);
+//!
+//! let jacobi2 = StencilShape::jacobi2d();
+//! // 2D: a 16K L1 keeps group reuse up to 1024-long columns.
+//! assert_eq!(reuse::max_column_extent_2d(2048, &jacobi2), 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dependence;
+mod ir;
+mod shape;
+mod space;
+
+pub mod reuse;
+
+pub use ir::{ArrayDesc, ArrayRef, Dim, Loop, LoopKind, Nest, Trace};
+pub use shape::StencilShape;
+pub use space::{for_each, for_each_tiled, IterSpace, TileDims};

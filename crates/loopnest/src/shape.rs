@@ -1,0 +1,199 @@
+//! Stencil access patterns and their derived tiling parameters.
+
+/// A stencil pattern: the set of constant offsets `(di, dj, dk)` at which
+/// the kernel *reads* its input array relative to the iteration point
+/// `(I, J, K)`.
+///
+/// From the offsets the paper derives everything its algorithms need:
+///
+/// * `m = max(di) - min(di)` and `n = max(dj) - min(dj)` — the amounts by
+///   which the array tile exceeds the iteration tile in the `I`/`J`
+///   dimensions (Section 2.3: "loop nests in 3D PDE solvers will generally
+///   access about `(TI+m)(TJ+n)N` elements");
+/// * `ATD = max(dk) - min(dk) + 1` — the *array tile depth*, the number of
+///   consecutive array planes that must be cache-resident (3 for Jacobi's
+///   6-point stencil, 4 for the fused red-black schedule).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StencilShape {
+    name: &'static str,
+    offsets: Vec<(i32, i32, i32)>,
+}
+
+impl StencilShape {
+    /// Builds a shape from explicit read offsets.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty.
+    pub fn new(name: &'static str, offsets: Vec<(i32, i32, i32)>) -> Self {
+        assert!(!offsets.is_empty(), "a stencil must read something");
+        StencilShape { name, offsets }
+    }
+
+    /// The 6-point 3D Jacobi stencil of Fig 3/4: the six face neighbours
+    /// (the centre point of `B` is *not* read).
+    pub fn jacobi3d() -> Self {
+        Self::new(
+            "jacobi3d",
+            vec![
+                (-1, 0, 0),
+                (1, 0, 0),
+                (0, -1, 0),
+                (0, 1, 0),
+                (0, 0, -1),
+                (0, 0, 1),
+            ],
+        )
+    }
+
+    /// The 4-point 2D Jacobi stencil of Fig 1/2 (`dk = 0` everywhere).
+    pub fn jacobi2d() -> Self {
+        Self::new(
+            "jacobi2d",
+            vec![(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0)],
+        )
+    }
+
+    /// One red-black SOR update (Fig 12, naive): centre plus the six faces,
+    /// all on the same array.
+    pub fn redblack3d() -> Self {
+        Self::new(
+            "redblack3d",
+            vec![
+                (0, 0, 0),
+                (-1, 0, 0),
+                (1, 0, 0),
+                (0, -1, 0),
+                (0, 1, 0),
+                (0, 0, -1),
+                (0, 0, 1),
+            ],
+        )
+    }
+
+    /// The *fused* red-black schedule of Fig 12: black points in plane `K`
+    /// are updated together with red points in plane `K+1`, so relative to
+    /// the fused iteration `KK` the union of accesses spans planes
+    /// `KK-1 ..= KK+2` — ATD 4. This is why `GcdPad` defaults to `TK = 4`
+    /// ("3-4 tile planes must exist in cache depending on the target nest").
+    pub fn redblack3d_fused() -> Self {
+        let base = Self::redblack3d();
+        let mut offs = base.offsets.clone();
+        for &(a, b, c) in &base.offsets {
+            let shifted = (a, b, c + 1);
+            if !offs.contains(&shifted) {
+                offs.push(shifted);
+            }
+        }
+        Self::new("redblack3d_fused", offs)
+    }
+
+    /// The 27-point RESID stencil from SPEC/NAS MGRID (Fig 13): centre,
+    /// 6 faces, 12 edges, 8 corners.
+    pub fn resid27() -> Self {
+        let mut offs = Vec::with_capacity(27);
+        for dk in -1..=1 {
+            for dj in -1..=1 {
+                for di in -1..=1 {
+                    offs.push((di, dj, dk));
+                }
+            }
+        }
+        Self::new("resid27", offs)
+    }
+
+    /// Short human-readable identifier.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The read offsets.
+    pub fn offsets(&self) -> &[(i32, i32, i32)] {
+        &self.offsets
+    }
+
+    /// Number of input-array reads per iteration point.
+    pub fn reads_per_point(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Trim amount in the `I` dimension: `max(di) - min(di)`.
+    pub fn m(&self) -> usize {
+        let lo = self.offsets.iter().map(|o| o.0).min().unwrap();
+        let hi = self.offsets.iter().map(|o| o.0).max().unwrap();
+        (hi - lo) as usize
+    }
+
+    /// Trim amount in the `J` dimension: `max(dj) - min(dj)`.
+    pub fn n(&self) -> usize {
+        let lo = self.offsets.iter().map(|o| o.1).min().unwrap();
+        let hi = self.offsets.iter().map(|o| o.1).max().unwrap();
+        (hi - lo) as usize
+    }
+
+    /// Array tile depth: number of `K` planes that must stay resident,
+    /// `max(dk) - min(dk) + 1`.
+    pub fn atd(&self) -> usize {
+        let lo = self.offsets.iter().map(|o| o.2).min().unwrap();
+        let hi = self.offsets.iter().map(|o| o.2).max().unwrap();
+        (hi - lo) as usize + 1
+    }
+
+    /// Halo width: how far outside the iteration space reads may land in
+    /// each dimension (the max absolute offset per dimension).
+    pub fn halo(&self) -> (usize, usize, usize) {
+        let h = |f: fn(&(i32, i32, i32)) -> i32| {
+            self.offsets
+                .iter()
+                .map(|o| f(o).unsigned_abs() as usize)
+                .max()
+                .unwrap()
+        };
+        (h(|o| o.0), h(|o| o.1), h(|o| o.2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi3d_parameters_match_the_paper() {
+        let s = StencilShape::jacobi3d();
+        assert_eq!(s.reads_per_point(), 6);
+        assert_eq!(s.m(), 2); // "(TI+2)(TJ+2)" in the Jacobi cost function
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.atd(), 3); // "e.g., 3 for Jacobi"
+        assert_eq!(s.halo(), (1, 1, 1));
+    }
+
+    #[test]
+    fn jacobi2d_is_flat() {
+        let s = StencilShape::jacobi2d();
+        assert_eq!(s.atd(), 1);
+        assert_eq!(s.reads_per_point(), 4);
+    }
+
+    #[test]
+    fn resid27_is_the_full_27_point_stencil() {
+        let s = StencilShape::resid27();
+        assert_eq!(s.reads_per_point(), 27);
+        assert_eq!(s.m(), 2);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.atd(), 3);
+    }
+
+    #[test]
+    fn fused_redblack_spans_four_planes() {
+        let s = StencilShape::redblack3d_fused();
+        assert_eq!(s.atd(), 4); // the GcdPad "TK = 4" case
+        assert_eq!(s.m(), 2);
+        // Union of the 7-point stencil at K and K+1: 7 + 7 - 2 shared = 12.
+        assert_eq!(s.reads_per_point(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_shape_panics() {
+        let _ = StencilShape::new("bogus", vec![]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Rectangular iteration spaces and the paper's tiled schedule.
+
+/// A rectangular 3D iteration space with *inclusive* Fortran-style bounds:
+/// `do K = k0, k1; do J = j0, j1; do I = i0, i1`.
+///
+/// The interior of an `N^3` stencil sweep (Fig 3: `do K=2,N-1` etc., i.e.
+/// 1-based Fortran) is `IterSpace::interior(n)` in 0-based Rust indexing:
+/// `1 ..= n-2` in every dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterSpace {
+    /// Inclusive lower bounds `(i0, j0, k0)`.
+    pub lo: (usize, usize, usize),
+    /// Inclusive upper bounds `(i1, j1, k1)`.
+    pub hi: (usize, usize, usize),
+}
+
+impl IterSpace {
+    /// The interior points of an `ni x nj x nk` grid (one boundary layer
+    /// excluded on every face).
+    ///
+    /// # Panics
+    /// Panics if any extent is < 3 (no interior).
+    pub fn interior(ni: usize, nj: usize, nk: usize) -> Self {
+        assert!(
+            ni >= 3 && nj >= 3 && nk >= 3,
+            "no interior for {ni}x{nj}x{nk}"
+        );
+        IterSpace {
+            lo: (1, 1, 1),
+            hi: (ni - 2, nj - 2, nk - 2),
+        }
+    }
+
+    /// A full `0 ..= n-1` space in each dimension.
+    pub fn full(ni: usize, nj: usize, nk: usize) -> Self {
+        assert!(ni >= 1 && nj >= 1 && nk >= 1);
+        IterSpace {
+            lo: (0, 0, 0),
+            hi: (ni - 1, nj - 1, nk - 1),
+        }
+    }
+
+    /// Number of iteration points.
+    pub fn points(&self) -> u64 {
+        let d = |lo: usize, hi: usize| (hi - lo + 1) as u64;
+        d(self.lo.0, self.hi.0) * d(self.lo.1, self.hi.1) * d(self.lo.2, self.hi.2)
+    }
+}
+
+/// Tile extents for the inner two loops, `(TI, TJ)` in the paper's notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileDims {
+    /// Iteration-tile extent along `I`.
+    pub ti: usize,
+    /// Iteration-tile extent along `J`.
+    pub tj: usize,
+}
+
+impl TileDims {
+    /// Creates tile dims; both must be nonzero.
+    ///
+    /// # Panics
+    /// Panics on zero extents.
+    pub fn new(ti: usize, tj: usize) -> Self {
+        assert!(
+            ti > 0 && tj > 0,
+            "tile dims must be nonzero, got ({ti}, {tj})"
+        );
+        TileDims { ti, tj }
+    }
+}
+
+/// Walks `space` in the original (untransformed) Fortran order:
+/// `K` outermost, `J`, then `I` innermost (unit stride).
+#[inline]
+pub fn for_each(space: IterSpace, mut body: impl FnMut(usize, usize, usize)) {
+    for k in space.lo.2..=space.hi.2 {
+        for j in space.lo.1..=space.hi.1 {
+            for i in space.lo.0..=space.hi.0 {
+                body(i, j, k);
+            }
+        }
+    }
+}
+
+/// Walks `space` in the paper's tiled order (Fig 6):
+///
+/// ```text
+/// do JJ = j0, j1, TJ
+///   do II = i0, i1, TI
+///     do K = k0, k1
+///       do J = JJ, min(JJ+TJ-1, j1)
+///         do I = II, min(II+TI-1, i1)
+/// ```
+///
+/// Only the inner two loops are tiled; `K` sweeps the full range inside each
+/// `(JJ, II)` tile, which is exactly what preserves group reuse across the
+/// `K` loop once the `(TI+m) x (TJ+n) x ATD` array tile fits in cache.
+#[inline]
+pub fn for_each_tiled(space: IterSpace, tile: TileDims, mut body: impl FnMut(usize, usize, usize)) {
+    let (i0, j0, k0) = space.lo;
+    let (i1, j1, k1) = space.hi;
+    let mut jj = j0;
+    while jj <= j1 {
+        let j_hi = (jj + tile.tj - 1).min(j1);
+        let mut ii = i0;
+        while ii <= i1 {
+            let i_hi = (ii + tile.ti - 1).min(i1);
+            for k in k0..=k1 {
+                for j in jj..=j_hi {
+                    for i in ii..=i_hi {
+                        body(i, j, k);
+                    }
+                }
+            }
+            ii += tile.ti;
+        }
+        jj += tile.tj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interior_matches_fortran_bounds() {
+        // Fortran `do K=2,N-1` on a 1-based N array == 1..=N-2 in 0-based.
+        let s = IterSpace::interior(10, 10, 10);
+        assert_eq!(s.lo, (1, 1, 1));
+        assert_eq!(s.hi, (8, 8, 8));
+        assert_eq!(s.points(), 512);
+    }
+
+    #[test]
+    fn tiled_walk_visits_same_points_exactly_once() {
+        let s = IterSpace::interior(13, 11, 7);
+        let mut orig = HashSet::new();
+        for_each(s, |i, j, k| {
+            assert!(orig.insert((i, j, k)));
+        });
+        for &(ti, tj) in &[(1, 1), (3, 4), (5, 2), (100, 100), (7, 1)] {
+            let mut tiled = HashSet::new();
+            for_each_tiled(s, TileDims::new(ti, tj), |i, j, k| {
+                assert!(tiled.insert((i, j, k)), "duplicate point under ({ti},{tj})");
+            });
+            assert_eq!(orig, tiled, "coverage mismatch under ({ti},{tj})");
+        }
+    }
+
+    #[test]
+    fn tiled_walk_order_is_k_inside_tiles() {
+        // With a tile covering everything, order must equal the original.
+        let s = IterSpace::interior(5, 5, 5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for_each(s, |i, j, k| a.push((i, j, k)));
+        for_each_tiled(s, TileDims::new(100, 100), |i, j, k| b.push((i, j, k)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiled_walk_executes_k_fully_per_tile() {
+        // For a (1,1) tile the walk is: fix (j,i), run all k.
+        let s = IterSpace {
+            lo: (1, 1, 1),
+            hi: (2, 2, 3),
+        };
+        let mut seq = Vec::new();
+        for_each_tiled(s, TileDims::new(1, 1), |i, j, k| seq.push((i, j, k)));
+        assert_eq!(seq[0], (1, 1, 1));
+        assert_eq!(seq[1], (1, 1, 2));
+        assert_eq!(seq[2], (1, 1, 3));
+        assert_eq!(seq[3], (2, 1, 1));
+    }
+
+    #[test]
+    fn full_space_points() {
+        assert_eq!(IterSpace::full(4, 5, 6).points(), 120);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_interior_panics() {
+        let _ = IterSpace::interior(2, 5, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tile_panics() {
+        let _ = TileDims::new(0, 4);
+    }
+}

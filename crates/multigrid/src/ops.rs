@@ -1,0 +1,422 @@
+//! The four MG routines: `resid`, `psinv`, `rprj3`, `interp`.
+//!
+//! `resid` is the paper's Fig 13 kernel and delegates to
+//! [`tiling3d_stencil::resid`]; the others are the remaining MGRID
+//! subroutines ("we expect additional improvements to arise from tiling the
+//! remaining subroutines" — `psinv` here accepts a tile too, as that
+//! extension). All routines finish with a `comm3` ghost exchange, like the
+//! benchmark.
+
+use tiling3d_loopnest::{for_each, for_each_tiled, IterSpace, TileDims};
+use tiling3d_stencil::resid::Coeffs;
+
+use crate::grid::PeriodicGrid;
+
+/// Smoother coefficients `(C0, C1, C2, C3)` for centre / faces / edges /
+/// corners.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SmootherCoeffs {
+    /// Centre weight.
+    pub c0: f64,
+    /// Face weight.
+    pub c1: f64,
+    /// Edge weight.
+    pub c2: f64,
+    /// Corner weight (0 in the standard MG smoother).
+    pub c3: f64,
+}
+
+impl SmootherCoeffs {
+    /// The NAS/SPEC MGRID `C` smoother: `(-3/8, 1/32, -1/64, 0)`.
+    pub const MGRID_C: SmootherCoeffs = SmootherCoeffs {
+        c0: -3.0 / 8.0,
+        c1: 1.0 / 32.0,
+        c2: -1.0 / 64.0,
+        c3: 0.0,
+    };
+}
+
+/// `r = v - A u` over the interior, then `comm3(r)`. The finest-level
+/// instance of the paper's RESID kernel; `tile` applies the Fig 13 tiled
+/// schedule.
+///
+/// # Panics
+/// Panics if the three grids differ in interior size or allocation.
+pub fn resid(
+    r: &mut PeriodicGrid,
+    u: &PeriodicGrid,
+    v: &PeriodicGrid,
+    a: &Coeffs,
+    tile: Option<TileDims>,
+) {
+    tiling3d_stencil::resid::sweep(r.array_mut(), u.array(), v.array(), a, tile);
+    r.comm3();
+}
+
+/// In-place residual update `r = r - A u` (the intermediate-level form:
+/// MGRID calls `resid(u(k), r(k), r(k))` with output aliasing `v`), then
+/// `comm3(r)`.
+///
+/// Safe in place because the `v` role only reads the centre element, which
+/// is read before the write.
+pub fn resid_inplace(r: &mut PeriodicGrid, u: &PeriodicGrid, a: &Coeffs, tile: Option<TileDims>) {
+    let m = r.m();
+    assert_eq!(m, u.m());
+    assert_eq!(
+        (r.array().di(), r.array().dj()),
+        (u.array().di(), u.array().dj())
+    );
+    let (di, ps) = (u.array().di(), u.array().plane_stride());
+    let (dii, psi) = (di as i64, ps as i64);
+    let a = *a;
+    let uv = u.array().as_slice();
+    let rv = r.array_mut().as_mut_slice();
+    let space = IterSpace {
+        lo: (1, 1, 1),
+        hi: (m, m, m),
+    };
+    let body = |i: usize, j: usize, k: usize| {
+        let idx = i + j * di + k * ps;
+        let at = |off: i64| uv[(idx as i64 + off) as usize];
+        let mut s1 = 0.0;
+        for o in [-1i64, 1, -dii, dii, -psi, psi] {
+            s1 += at(o);
+        }
+        let mut s2 = 0.0;
+        for o in [
+            -1 - dii,
+            1 - dii,
+            -1 + dii,
+            1 + dii,
+            -dii - psi,
+            dii - psi,
+            -dii + psi,
+            dii + psi,
+            -1 - psi,
+            -1 + psi,
+            1 - psi,
+            1 + psi,
+        ] {
+            s2 += at(o);
+        }
+        let mut s3 = 0.0;
+        for o in [
+            -1 - dii - psi,
+            1 - dii - psi,
+            -1 + dii - psi,
+            1 + dii - psi,
+            -1 - dii + psi,
+            1 - dii + psi,
+            -1 + dii + psi,
+            1 + dii + psi,
+        ] {
+            s3 += at(o);
+        }
+        rv[idx] = rv[idx] - a.a0 * uv[idx] - a.a1 * s1 - a.a2 * s2 - a.a3 * s3;
+    };
+    match tile {
+        None => for_each(space, body),
+        Some(t) => for_each_tiled(space, t, body),
+    }
+    r.comm3();
+}
+
+/// The `psinv` smoother: `u = u + C (convolved with) r` over the interior,
+/// then `comm3(u)`.
+pub fn psinv(u: &mut PeriodicGrid, r: &PeriodicGrid, c: &SmootherCoeffs, tile: Option<TileDims>) {
+    let m = u.m();
+    assert_eq!(m, r.m());
+    assert_eq!(
+        (u.array().di(), u.array().dj()),
+        (r.array().di(), r.array().dj())
+    );
+    let (di, ps) = (r.array().di(), r.array().plane_stride());
+    let (dii, psi) = (di as i64, ps as i64);
+    let c = *c;
+    let rv = r.array().as_slice();
+    let uvm = u.array_mut().as_mut_slice();
+    let space = IterSpace {
+        lo: (1, 1, 1),
+        hi: (m, m, m),
+    };
+    let body = |i: usize, j: usize, k: usize| {
+        let idx = i + j * di + k * ps;
+        let at = |off: i64| rv[(idx as i64 + off) as usize];
+        let mut s1 = 0.0;
+        for o in [-1i64, 1, -dii, dii, -psi, psi] {
+            s1 += at(o);
+        }
+        let mut s2 = 0.0;
+        for o in [
+            -1 - dii,
+            1 - dii,
+            -1 + dii,
+            1 + dii,
+            -dii - psi,
+            dii - psi,
+            -dii + psi,
+            dii + psi,
+            -1 - psi,
+            -1 + psi,
+            1 - psi,
+            1 + psi,
+        ] {
+            s2 += at(o);
+        }
+        let mut s3 = 0.0;
+        for o in [
+            -1 - dii - psi,
+            1 - dii - psi,
+            -1 + dii - psi,
+            1 + dii - psi,
+            -1 - dii + psi,
+            1 - dii + psi,
+            -1 + dii + psi,
+            1 + dii + psi,
+        ] {
+            s3 += at(o);
+        }
+        uvm[idx] += c.c0 * rv[idx] + c.c1 * s1 + c.c2 * s2 + c.c3 * s3;
+    };
+    match tile {
+        None => for_each(space, body),
+        Some(t) => for_each_tiled(space, t, body),
+    }
+    u.comm3();
+}
+
+/// Full-weighting restriction `rprj3`: each coarse interior point gathers
+/// the 27-point neighbourhood of its aligned fine point (fine index
+/// `2 * coarse index`) with weights `1/2, 1/4, 1/8, 1/16` for centre /
+/// faces / edges / corners, then `comm3`.
+///
+/// # Panics
+/// Panics unless `fine.m() == 2 * coarse.m()`.
+pub fn rprj3(coarse: &mut PeriodicGrid, fine: &PeriodicGrid) {
+    let mc = coarse.m();
+    assert_eq!(fine.m(), 2 * mc, "restriction needs a 2:1 grid pair");
+    let fa = fine.array();
+    let (di, ps) = (fa.di(), fa.plane_stride());
+    let (dii, psi) = (di as i64, ps as i64);
+    let fv = fa.as_slice();
+    for kc in 1..=mc {
+        for jc in 1..=mc {
+            for ic in 1..=mc {
+                let idx = (2 * ic + 2 * jc * di + 2 * kc * ps) as i64;
+                let at = |o: i64| fv[(idx + o) as usize];
+                let mut faces = 0.0;
+                for o in [-1i64, 1, -dii, dii, -psi, psi] {
+                    faces += at(o);
+                }
+                let mut edges = 0.0;
+                for o in [
+                    -1 - dii,
+                    1 - dii,
+                    -1 + dii,
+                    1 + dii,
+                    -dii - psi,
+                    dii - psi,
+                    -dii + psi,
+                    dii + psi,
+                    -1 - psi,
+                    -1 + psi,
+                    1 - psi,
+                    1 + psi,
+                ] {
+                    edges += at(o);
+                }
+                let mut corners = 0.0;
+                for o in [
+                    -1 - dii - psi,
+                    1 - dii - psi,
+                    -1 + dii - psi,
+                    1 + dii - psi,
+                    -1 - dii + psi,
+                    1 - dii + psi,
+                    -1 + dii + psi,
+                    1 + dii + psi,
+                ] {
+                    corners += at(o);
+                }
+                let v = 0.5 * at(0) + 0.25 * faces + 0.125 * edges + 0.0625 * corners;
+                coarse.set(ic, jc, kc, v);
+            }
+        }
+    }
+    coarse.comm3();
+}
+
+/// Trilinear prolongation `interp`: adds the coarse correction into the
+/// fine grid (fine index `2 * coarse index` aligned; odd fine indices
+/// average their two/four/eight coarse neighbours), then `comm3`.
+///
+/// # Panics
+/// Panics unless `fine.m() == 2 * coarse.m()`.
+pub fn interp(fine: &mut PeriodicGrid, coarse: &PeriodicGrid) {
+    let mc = coarse.m();
+    let mf = fine.m();
+    assert_eq!(mf, 2 * mc, "prolongation needs a 2:1 grid pair");
+    // Per-dim stencil: even fine index 2c -> coarse c with weight 1;
+    // odd fine index 2c+1 -> coarse c and c+1 with weight 1/2 each.
+    // Coarse index 0 is a (periodic) ghost, valid after comm3.
+    let contrib = |f: usize| -> [(usize, f64); 2] {
+        if f.is_multiple_of(2) {
+            [(f / 2, 1.0), (0, 0.0)]
+        } else {
+            [(f / 2, 0.5), (f / 2 + 1, 0.5)]
+        }
+    };
+    for kf in 1..=mf {
+        let ck = contrib(kf);
+        for jf in 1..=mf {
+            let cj = contrib(jf);
+            for if_ in 1..=mf {
+                let ci = contrib(if_);
+                let mut acc = 0.0;
+                for (kc, wk) in ck {
+                    if wk == 0.0 {
+                        continue;
+                    }
+                    for (jc, wj) in cj {
+                        if wj == 0.0 {
+                            continue;
+                        }
+                        for (ic, wi) in ci {
+                            if wi == 0.0 {
+                                continue;
+                            }
+                            acc += wk * wj * wi * coarse.get(ic, jc, kc);
+                        }
+                    }
+                }
+                let cur = fine.get(if_, jf, kf);
+                fine.set(if_, jf, kf, cur + acc);
+            }
+        }
+    }
+    fine.comm3();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiling3d_grid::Xorshift64;
+
+    fn random_grid(m: usize, seed: u64) -> PeriodicGrid {
+        let mut rng = Xorshift64::new(seed);
+        let mut g = PeriodicGrid::new(m);
+        g.fill_interior(|_, _, _| rng.next_f64() - 0.5);
+        g
+    }
+
+    #[test]
+    fn resid_inplace_matches_out_of_place() {
+        let m = 8;
+        let u = random_grid(m, 1);
+        let v = random_grid(m, 2);
+        let a = Coeffs::MGRID_A;
+        let mut r1 = PeriodicGrid::new(m);
+        resid(&mut r1, &u, &v, &a, None);
+        let mut r2 = v.clone();
+        resid_inplace(&mut r2, &u, &a, None);
+        for k in 1..=m {
+            for j in 1..=m {
+                for i in 1..=m {
+                    assert_eq!(r1.get(i, j, k).to_bits(), r2.get(i, j, k).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_ops_match_untiled_bitwise() {
+        let m = 8;
+        let u0 = random_grid(m, 3);
+        let r0 = random_grid(m, 4);
+        let t = TileDims::new(3, 2);
+
+        let mut u1 = u0.clone();
+        let mut u2 = u0.clone();
+        psinv(&mut u1, &r0, &SmootherCoeffs::MGRID_C, None);
+        psinv(&mut u2, &r0, &SmootherCoeffs::MGRID_C, Some(t));
+        assert!(u1.array().logical_eq(u2.array()));
+
+        let mut r1 = r0.clone();
+        let mut r2 = r0.clone();
+        resid_inplace(&mut r1, &u0, &Coeffs::MGRID_A, None);
+        resid_inplace(&mut r2, &u0, &Coeffs::MGRID_A, Some(t));
+        assert!(r1.array().logical_eq(r2.array()));
+    }
+
+    #[test]
+    fn rprj3_of_constant_is_constant_times_total_weight() {
+        // Total weight = 0.5 + 6*0.25 + 12*0.125 + 8*0.0625 = 4.
+        let mut fine = PeriodicGrid::new(8);
+        fine.fill_interior(|_, _, _| 1.5);
+        let mut coarse = PeriodicGrid::new(4);
+        rprj3(&mut coarse, &fine);
+        for k in 1..=4 {
+            for j in 1..=4 {
+                for i in 1..=4 {
+                    assert!((coarse.get(i, j, k) - 6.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interp_of_constant_adds_constant() {
+        let mut coarse = PeriodicGrid::new(4);
+        coarse.fill_interior(|_, _, _| 2.0);
+        let mut fine = PeriodicGrid::new(8);
+        fine.fill_interior(|_, _, _| 1.0);
+        interp(&mut fine, &coarse);
+        // Per-dim weights sum to 1, so every fine point gains exactly 2.
+        for k in 1..=8 {
+            for j in 1..=8 {
+                for i in 1..=8 {
+                    assert!(
+                        (fine.get(i, j, k) - 3.0).abs() < 1e-12,
+                        "({i},{j},{k}) = {}",
+                        fine.get(i, j, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resid_of_exact_zero_solution_is_rhs() {
+        let m = 8;
+        let u = PeriodicGrid::new(m); // zero
+        let v = random_grid(m, 9);
+        let mut r = PeriodicGrid::new(m);
+        resid(&mut r, &u, &v, &Coeffs::MGRID_A, None);
+        for k in 1..=m {
+            for j in 1..=m {
+                for i in 1..=m {
+                    assert_eq!(r.get(i, j, k), v.get(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoother_reduces_residual_of_poisson_problem() {
+        // One V-cycle-free sanity check: after u += S r with the MGRID
+        // coefficients, the residual norm of A u = v should drop.
+        let m = 16;
+        let v = random_grid(m, 12);
+        let mut u = PeriodicGrid::new(m);
+        let mut r = PeriodicGrid::new(m);
+        resid(&mut r, &u, &v, &Coeffs::MGRID_A, None);
+        let before = r.interior_l2();
+        psinv(&mut u, &r, &SmootherCoeffs::MGRID_C, None);
+        resid(&mut r, &u, &v, &Coeffs::MGRID_A, None);
+        let after = r.interior_l2();
+        assert!(
+            after < before,
+            "smoother must reduce the residual: {before} -> {after}"
+        );
+    }
+}

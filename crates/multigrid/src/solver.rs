@@ -1,0 +1,325 @@
+//! The V-cycle driver (`mg3P`) with per-routine accounting.
+
+use std::time::{Duration, Instant};
+
+use tiling3d_loopnest::TileDims;
+use tiling3d_stencil::resid::Coeffs;
+
+use crate::grid::PeriodicGrid;
+use crate::ops::{self, SmootherCoeffs};
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MgConfig {
+    /// Number of levels `lt`; the finest grid has `2^lt` interior points
+    /// per side (`lt = 7` reproduces SPEC MGRID's 130^3 reference arrays).
+    pub levels: usize,
+    /// Allocated lower dimensions for the **finest-level** arrays
+    /// (`None` = unpadded `2^lt + 2`). This is the Section 4.6 padding
+    /// mechanism: "we can enable padding by declaring a new padded array".
+    pub pad_finest: Option<(usize, usize)>,
+    /// Tile for the finest-level `resid` (`None` = original untiled
+    /// loops). The paper tiles RESID "for only the largest grid size".
+    pub tile_finest: Option<TileDims>,
+    /// Tile for the finest-level `psinv` — the paper's suggested extension
+    /// ("we expect additional improvements to arise from tiling the
+    /// remaining subroutines").
+    pub tile_psinv_finest: Option<TileDims>,
+    /// The 27-point operator coefficients.
+    pub coeffs_a: Coeffs,
+    /// The smoother coefficients.
+    pub coeffs_c: SmootherCoeffs,
+}
+
+impl MgConfig {
+    /// MGRID-style defaults at the given level count, untransformed.
+    pub fn mgrid(levels: usize) -> Self {
+        MgConfig {
+            levels,
+            pad_finest: None,
+            tile_finest: None,
+            tile_psinv_finest: None,
+            coeffs_a: Coeffs::MGRID_A,
+            coeffs_c: SmootherCoeffs::MGRID_C,
+        }
+    }
+}
+
+/// Wall-clock time and invocation counts per MG routine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutineStats {
+    /// Total time in `resid` (all levels).
+    pub resid: Duration,
+    /// Total time in `psinv`.
+    pub psinv: Duration,
+    /// Total time in `rprj3`.
+    pub rprj3: Duration,
+    /// Total time in `interp`.
+    pub interp: Duration,
+    /// `resid` calls.
+    pub resid_calls: u64,
+    /// `psinv` calls.
+    pub psinv_calls: u64,
+}
+
+impl RoutineStats {
+    /// Sum of all routine times.
+    pub fn total(&self) -> Duration {
+        self.resid + self.psinv + self.rprj3 + self.interp
+    }
+
+    /// Fraction of accounted time spent in `resid` — the paper quotes
+    /// "about 60% of the total execution time in RESID" for MGRID.
+    pub fn resid_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.resid.as_secs_f64() / t
+        }
+    }
+}
+
+/// A V-cycle multigrid solver for the periodic model problem `A u = v`
+/// with the MGRID 27-point operator.
+#[derive(Clone, Debug)]
+pub struct MgSolver {
+    cfg: MgConfig,
+    /// `u[k]`, `r[k]` for level `k` (index 0 = coarsest, `m = 2`).
+    u: Vec<PeriodicGrid>,
+    r: Vec<PeriodicGrid>,
+    v: PeriodicGrid,
+    /// Accumulated per-routine accounting.
+    pub stats: RoutineStats,
+}
+
+impl MgSolver {
+    /// Builds a solver; all grids zeroed.
+    ///
+    /// # Panics
+    /// Panics if `cfg.levels < 2` or the finest padding is insufficient.
+    pub fn new(cfg: MgConfig) -> Self {
+        assert!(cfg.levels >= 2, "need at least 2 levels");
+        let mut u = Vec::with_capacity(cfg.levels);
+        let mut r = Vec::with_capacity(cfg.levels);
+        for k in 1..=cfg.levels {
+            let m = 1usize << k;
+            let (di, dj) = if k == cfg.levels {
+                cfg.pad_finest.unwrap_or((m + 2, m + 2))
+            } else {
+                (m + 2, m + 2)
+            };
+            u.push(PeriodicGrid::with_padding(m, di, dj));
+            r.push(PeriodicGrid::with_padding(m, di, dj));
+        }
+        let (dv_i, dv_j) = cfg
+            .pad_finest
+            .unwrap_or(((1 << cfg.levels) + 2, (1 << cfg.levels) + 2));
+        let v = PeriodicGrid::with_padding(1 << cfg.levels, dv_i, dv_j);
+        MgSolver {
+            cfg,
+            u,
+            r,
+            v,
+            stats: RoutineStats::default(),
+        }
+    }
+
+    /// Finest-grid interior size per side.
+    pub fn finest_m(&self) -> usize {
+        1 << self.cfg.levels
+    }
+
+    /// Sets the right-hand side on the finest grid from interior
+    /// coordinates and refreshes its ghosts.
+    pub fn set_rhs(&mut self, f: impl FnMut(usize, usize, usize) -> f64) {
+        self.v.fill_interior(f);
+    }
+
+    /// Read access to the finest-level solution.
+    pub fn solution(&self) -> &PeriodicGrid {
+        &self.u[self.cfg.levels - 1]
+    }
+
+    /// Current residual L2 norm (recomputes `r = v - A u` on the finest
+    /// grid, untimed).
+    pub fn residual_norm(&mut self) -> f64 {
+        let lt = self.cfg.levels - 1;
+        let (u, v) = (&self.u[lt], &self.v);
+        let mut r = self.r[lt].clone();
+        ops::resid(&mut r, u, v, &self.cfg.coeffs_a, None);
+        r.interior_l2()
+    }
+
+    /// One MGRID iteration: `resid` on the finest grid, then the `mg3P`
+    /// V-cycle. Returns the residual norm *before* the cycle.
+    pub fn iterate(&mut self) -> f64 {
+        let lt = self.cfg.levels - 1; // index of finest level
+        let tile = self.cfg.tile_finest;
+        let a = self.cfg.coeffs_a;
+        let c = self.cfg.coeffs_c;
+
+        // r_finest = v - A u  (the paper's tiled kernel).
+        {
+            let t0 = Instant::now();
+            let (r, u, v) = (&mut self.r[lt], &self.u[lt], &self.v);
+            ops::resid(r, u, v, &a, tile);
+            self.stats.resid += t0.elapsed();
+            self.stats.resid_calls += 1;
+        }
+        let norm = self.r[lt].interior_l2();
+
+        // Restrict the residual down the hierarchy.
+        for k in (0..lt).rev() {
+            let t0 = Instant::now();
+            let (coarse, fine) = {
+                let (lo, hi) = self.r.split_at_mut(k + 1);
+                (&mut lo[k], &hi[0])
+            };
+            ops::rprj3(coarse, fine);
+            self.stats.rprj3 += t0.elapsed();
+        }
+
+        // Coarsest level: u = S r.
+        {
+            let t0 = Instant::now();
+            self.u[0].zero();
+            ops::psinv(&mut self.u[0], &self.r[0], &c, None);
+            self.stats.psinv += t0.elapsed();
+            self.stats.psinv_calls += 1;
+        }
+
+        // Walk back up.
+        for k in 1..=lt {
+            let is_finest = k == lt;
+            let t0 = Instant::now();
+            {
+                let (lo, hi) = self.u.split_at_mut(k);
+                let (coarse_u, fine_u) = (&lo[k - 1], &mut hi[0]);
+                if !is_finest {
+                    fine_u.zero();
+                }
+                ops::interp(fine_u, coarse_u);
+            }
+            self.stats.interp += t0.elapsed();
+
+            let lvl_tile = if is_finest { tile } else { None };
+            if is_finest {
+                let t0 = Instant::now();
+                let (r, u, v) = (&mut self.r[k], &self.u[k], &self.v);
+                ops::resid(r, u, v, &a, lvl_tile);
+                self.stats.resid += t0.elapsed();
+                self.stats.resid_calls += 1;
+            } else {
+                let t0 = Instant::now();
+                let (r, u) = (&mut self.r[k], &self.u[k]);
+                ops::resid_inplace(r, u, &a, lvl_tile);
+                self.stats.resid += t0.elapsed();
+                self.stats.resid_calls += 1;
+            }
+
+            let t0 = Instant::now();
+            let (r, u) = (&self.r[k], &mut self.u[k]);
+            let psinv_tile = if is_finest {
+                self.cfg.tile_psinv_finest
+            } else {
+                None
+            };
+            ops::psinv(u, r, &c, psinv_tile);
+            self.stats.psinv += t0.elapsed();
+            self.stats.psinv_calls += 1;
+        }
+
+        norm
+    }
+
+    /// Runs `iters` V-cycles and returns the residual norms observed at
+    /// the start of each.
+    pub fn solve(&mut self, iters: usize) -> Vec<f64> {
+        (0..iters).map(|_| self.iterate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiling3d_grid::Xorshift64;
+
+    fn rhs_filled(cfg: MgConfig, seed: u64) -> MgSolver {
+        let mut s = MgSolver::new(cfg);
+        let mut rng = Xorshift64::new(seed);
+        s.set_rhs(|_, _, _| rng.next_f64() - 0.5);
+        s
+    }
+
+    #[test]
+    fn vcycles_converge_on_random_rhs() {
+        let mut s = rhs_filled(MgConfig::mgrid(4), 5); // 16^3 finest
+        let norms = s.solve(5);
+        let final_norm = s.residual_norm();
+        // Multigrid converges fast: expect a healthy reduction per cycle.
+        for w in norms.windows(2) {
+            assert!(w[1] < w[0] * 0.7, "insufficient convergence: {norms:?}");
+        }
+        assert!(final_norm < norms[0] * 1e-2, "{norms:?} -> {final_norm}");
+    }
+
+    #[test]
+    fn tiled_solver_is_bitwise_identical_to_untiled() {
+        let mut a = rhs_filled(MgConfig::mgrid(4), 9);
+        let mut b = rhs_filled(
+            MgConfig {
+                tile_finest: Some(TileDims::new(5, 3)),
+                ..MgConfig::mgrid(4)
+            },
+            9,
+        );
+        a.solve(3);
+        b.solve(3);
+        assert!(a.solution().array().logical_eq(b.solution().array()));
+    }
+
+    #[test]
+    fn padded_solver_matches_unpadded_results() {
+        let mut a = rhs_filled(MgConfig::mgrid(3), 13);
+        let m = 1 << 3;
+        let mut b = rhs_filled(
+            MgConfig {
+                pad_finest: Some((m + 7, m + 5)),
+                ..MgConfig::mgrid(3)
+            },
+            13,
+        );
+        a.solve(2);
+        b.solve(2);
+        let (ua, ub) = (a.solution(), b.solution());
+        for k in 1..=m {
+            for j in 1..=m {
+                for i in 1..=m {
+                    assert_eq!(ua.get(i, j, k).to_bits(), ub.get(i, j, k).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_resid_dominates_calls() {
+        let mut s = rhs_filled(MgConfig::mgrid(4), 2);
+        s.solve(2);
+        assert!(s.stats.resid_calls >= s.stats.psinv_calls);
+        assert!(s.stats.total() > Duration::ZERO);
+        assert!(s.stats.resid_fraction() > 0.0);
+    }
+
+    #[test]
+    fn finest_m_matches_levels() {
+        let s = MgSolver::new(MgConfig::mgrid(5));
+        assert_eq!(s.finest_m(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_level_rejected() {
+        let _ = MgSolver::new(MgConfig::mgrid(1));
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's stencil kernels — compute and cache-trace forms.
+//!
+//! Three kernels carry the whole experimental evaluation of Rivera & Tseng
+//! (SC 2000), and all three live here, each in **original** and **tiled**
+//! form, as both an actual `f64` computation and an exact address-trace
+//! generator for the cache simulator:
+//!
+//! * [`jacobi3d`] — the 6-point 3D Jacobi iteration of Fig 3/6 (plus the
+//!   2D variant of Fig 1 used for the "2D doesn't need tiling" argument);
+//! * [`redblack`] — 3D red-black SOR in the three forms of Fig 12: naive
+//!   two-pass, fused (black points of plane `K` updated right after red
+//!   points of plane `K+1`), and the skewed tiled schedule;
+//! * [`resid`] — the 27-point RESID kernel of SPEC/NAS MGRID (Fig 13),
+//!   reading a second input array `V` (the cross-interference case of
+//!   Section 3.5).
+//!
+//! Tiling **never changes results**: the tiled schedules execute the same
+//! per-point expression in a different order, and red-black's skewed tiling
+//! preserves the red-before-black dependence exactly, so every tiled sweep
+//! is bitwise identical to its original — a property the test suites check
+//! exhaustively.
+//!
+//! [`kernels::Kernel`] packages the three kernels behind one dispatch enum
+//! for the benchmark harness, and [`parallel`] provides scoped-thread
+//! K-slab parallel sweeps showing that the paper's intra-nest tiling
+//! composes with thread parallelism.
+
+#![warn(missing_docs)]
+
+pub mod copyopt;
+pub mod jacobi2d;
+pub mod jacobi3d;
+pub mod kernels;
+pub mod parallel;
+pub mod redblack;
+pub mod redblack2d;
+pub mod resid;
+pub mod timeskew;
+pub mod timestep;

@@ -1,0 +1,285 @@
+//! Scoped-thread parallel stencil sweeps (K-slab decomposition).
+//!
+//! The paper's transformations are single-thread cache optimizations, but a
+//! production stencil library must compose them with thread parallelism.
+//! The natural decomposition for the `JJ/II/K/J/I` tiled schedule is by
+//! **K-slabs of the output array**: Jacobi and RESID write one array while
+//! reading others, so giving each thread a disjoint span of output planes
+//! is race-free by construction (Rust's borrow checker enforces it via
+//! `split_at_mut`-style slab slices).
+//!
+//! Each thread runs the *tiled* schedule inside its slab, so per-thread
+//! cache behaviour matches the sequential analysis — tiling and
+//! parallelism compose rather than compete. Results are bitwise identical
+//! to the sequential sweeps (verified by tests): each output element is
+//! computed by exactly one thread from read-only inputs.
+
+use std::thread;
+
+use tiling3d_grid::Array3;
+use tiling3d_loopnest::{for_each_tiled, IterSpace, TileDims};
+
+/// Partitions the interior `K` range `1..=nk-2` into at most `threads`
+/// contiguous chunks of near-equal size.
+fn k_chunks(nk: usize, threads: usize) -> Vec<(usize, usize)> {
+    assert!(threads > 0, "need at least one thread");
+    let lo = 1usize;
+    let hi = nk - 2;
+    let total = hi - lo + 1;
+    let t = threads.min(total);
+    let base = total / t;
+    let extra = total % t;
+    let mut out = Vec::with_capacity(t);
+    let mut start = lo;
+    for idx in 0..t {
+        let len = base + usize::from(idx < extra);
+        out.push((start, start + len - 1));
+        start += len;
+    }
+    out
+}
+
+/// Parallel (optionally tiled) 3D Jacobi sweep across `threads` K-slabs.
+///
+/// Bitwise identical to `jacobi3d::sweep` / `jacobi3d::sweep_tiled`.
+///
+/// # Panics
+/// Panics if extents mismatch or `threads == 0`.
+pub fn jacobi3d_sweep(
+    a: &mut Array3<f64>,
+    b: &Array3<f64>,
+    c: f64,
+    tile: Option<TileDims>,
+    threads: usize,
+) {
+    assert_eq!(
+        (a.ni(), a.nj(), a.nk(), a.di(), a.dj()),
+        (b.ni(), b.nj(), b.nk(), b.di(), b.dj())
+    );
+    let (ni, nj, nk) = (a.ni(), a.nj(), a.nk());
+    let (di, ps) = (a.di(), a.plane_stride());
+    let chunks = k_chunks(nk, threads);
+    let bv = b.as_slice();
+
+    // Slice the output into per-chunk mutable slabs covering whole planes.
+    let mut rest = a.as_mut_slice();
+    let mut consumed = 0usize;
+    let mut slabs = Vec::with_capacity(chunks.len());
+    for &(k0, k1) in &chunks {
+        // Slab spans plane k0 .. k1 inclusive.
+        let begin = k0 * ps;
+        let end = (k1 + 1) * ps;
+        let (_, tail) = rest.split_at_mut(begin - consumed);
+        let (slab, tail) = tail.split_at_mut(end - begin);
+        rest = tail;
+        consumed = end;
+        slabs.push((k0, k1, slab));
+    }
+
+    thread::scope(|scope| {
+        for (k0, k1, slab) in slabs {
+            scope.spawn(move || {
+                let space = IterSpace {
+                    lo: (1, 1, k0),
+                    hi: (ni - 2, nj - 2, k1),
+                };
+                let base = k0 * ps; // slab-local offset correction
+                let body = |i: usize, j: usize, k: usize| {
+                    let idx = i + j * di + k * ps;
+                    slab[idx - base] = c
+                        * (bv[idx - 1]
+                            + bv[idx + 1]
+                            + bv[idx - di]
+                            + bv[idx + di]
+                            + bv[idx - ps]
+                            + bv[idx + ps]);
+                };
+                match tile {
+                    None => tiling3d_loopnest::for_each(space, body),
+                    Some(t) => for_each_tiled(space, t, body),
+                }
+            });
+        }
+    });
+}
+
+/// Parallel (optionally tiled) RESID sweep across `threads` K-slabs.
+///
+/// Bitwise identical to `resid::sweep` with the same tile.
+///
+/// # Panics
+/// Panics if extents mismatch or `threads == 0`.
+pub fn resid_sweep(
+    r: &mut Array3<f64>,
+    u: &Array3<f64>,
+    v: &Array3<f64>,
+    coeffs: &crate::resid::Coeffs,
+    tile: Option<TileDims>,
+    threads: usize,
+) {
+    assert_eq!((r.di(), r.dj(), r.nk()), (u.di(), u.dj(), u.nk()));
+    assert_eq!((u.di(), u.dj(), u.nk()), (v.di(), v.dj(), v.nk()));
+    let (ni, nj, nk) = (r.ni(), r.nj(), r.nk());
+    let (di, ps) = (r.di(), r.plane_stride());
+    let chunks = k_chunks(nk, threads);
+    let (uv, vv) = (u.as_slice(), v.as_slice());
+    let coeffs = *coeffs;
+
+    let mut rest = r.as_mut_slice();
+    let mut consumed = 0usize;
+    let mut slabs = Vec::with_capacity(chunks.len());
+    for &(k0, k1) in &chunks {
+        let begin = k0 * ps;
+        let end = (k1 + 1) * ps;
+        let (_, tail) = rest.split_at_mut(begin - consumed);
+        let (slab, tail) = tail.split_at_mut(end - begin);
+        rest = tail;
+        consumed = end;
+        slabs.push((k0, k1, slab));
+    }
+
+    thread::scope(|scope| {
+        for (k0, k1, slab) in slabs {
+            scope.spawn(move || {
+                let space = IterSpace {
+                    lo: (1, 1, k0),
+                    hi: (ni - 2, nj - 2, k1),
+                };
+                let base = k0 * ps;
+                let (dii, psi) = (di as i64, ps as i64);
+                let body = |i: usize, j: usize, k: usize| {
+                    let idx = i + j * di + k * ps;
+                    let at = |off: i64| uv[(idx as i64 + off) as usize];
+                    let mut s1 = 0.0;
+                    for o in [-1i64, 1, -dii, dii, -psi, psi] {
+                        s1 += at(o);
+                    }
+                    let mut s2 = 0.0;
+                    for o in [
+                        -1 - dii,
+                        1 - dii,
+                        -1 + dii,
+                        1 + dii,
+                        -dii - psi,
+                        dii - psi,
+                        -dii + psi,
+                        dii + psi,
+                        -1 - psi,
+                        -1 + psi,
+                        1 - psi,
+                        1 + psi,
+                    ] {
+                        s2 += at(o);
+                    }
+                    let mut s3 = 0.0;
+                    for o in [
+                        -1 - dii - psi,
+                        1 - dii - psi,
+                        -1 + dii - psi,
+                        1 + dii - psi,
+                        -1 - dii + psi,
+                        1 - dii + psi,
+                        -1 + dii + psi,
+                        1 + dii + psi,
+                    ] {
+                        s3 += at(o);
+                    }
+                    slab[idx - base] = vv[idx]
+                        - coeffs.a0 * uv[idx]
+                        - coeffs.a1 * s1
+                        - coeffs.a2 * s2
+                        - coeffs.a3 * s3;
+                };
+                match tile {
+                    None => tiling3d_loopnest::for_each(space, body),
+                    Some(t) => for_each_tiled(space, t, body),
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resid::Coeffs;
+    use tiling3d_grid::fill_random;
+
+    #[test]
+    fn k_chunks_cover_the_interior_disjointly() {
+        for nk in [3usize, 4, 10, 31] {
+            for t in [1usize, 2, 3, 8, 64] {
+                let chunks = k_chunks(nk, t);
+                let mut expect = 1usize;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, expect);
+                    assert!(hi >= lo);
+                    expect = hi + 1;
+                }
+                assert_eq!(expect, nk - 1, "nk={nk} t={t}");
+                assert!(chunks.len() <= t);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_sequential_bitwise() {
+        let n = 24;
+        let mut b = Array3::with_padding(n, n, n, 29, 27);
+        fill_random(&mut b, 77);
+        let mut seq = Array3::with_padding(n, n, n, 29, 27);
+        crate::jacobi3d::sweep(&mut seq, &b, 1.0 / 6.0);
+        for threads in [1usize, 2, 3, 7] {
+            let mut par = Array3::with_padding(n, n, n, 29, 27);
+            jacobi3d_sweep(&mut par, &b, 1.0 / 6.0, None, threads);
+            assert!(seq.logical_eq(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_tiled_jacobi_matches_sequential() {
+        let n = 20;
+        let mut b = Array3::new(n, n, n);
+        fill_random(&mut b, 5);
+        let mut seq = Array3::new(n, n, n);
+        crate::jacobi3d::sweep(&mut seq, &b, 0.5);
+        let mut par = Array3::new(n, n, n);
+        jacobi3d_sweep(&mut par, &b, 0.5, Some(TileDims::new(5, 4)), 4);
+        assert!(seq.logical_eq(&par));
+    }
+
+    #[test]
+    fn parallel_resid_matches_sequential_bitwise() {
+        let n = 18;
+        let mut u = Array3::with_padding(n, n, n, 21, 19);
+        let mut v = u.clone();
+        fill_random(&mut u, 8);
+        fill_random(&mut v, 9);
+        let mut seq = Array3::with_padding(n, n, n, 21, 19);
+        crate::resid::sweep(&mut seq, &u, &v, &Coeffs::MGRID_A, None);
+        for threads in [1usize, 3, 5] {
+            let mut par = Array3::with_padding(n, n, n, 21, 19);
+            resid_sweep(
+                &mut par,
+                &u,
+                &v,
+                &Coeffs::MGRID_A,
+                Some(TileDims::new(4, 4)),
+                threads,
+            );
+            assert!(seq.logical_eq(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_planes_is_fine() {
+        let n = 5;
+        let mut b = Array3::new(n, n, n);
+        fill_random(&mut b, 2);
+        let mut seq = Array3::new(n, n, n);
+        crate::jacobi3d::sweep(&mut seq, &b, 1.0);
+        let mut par = Array3::new(n, n, n);
+        jacobi3d_sweep(&mut par, &b, 1.0, None, 64);
+        assert!(seq.logical_eq(&par));
+    }
+}

@@ -1,0 +1,336 @@
+//! 3D Red-black SOR (Fig 12): naive, fused, and skewed-tiled schedules.
+//!
+//! Red points (even Fortran coordinate sum) are updated from their black
+//! neighbours, then black points from the updated reds, all **in place** on
+//! a single array. The naive schedule makes two full sweeps per iteration
+//! (terrible locality: the array is pulled through cache twice, at half
+//! line utilisation). The *fused* schedule updates black points of plane
+//! `K` immediately after red points of plane `K+1`, so one pass suffices —
+//! but now **three** planes must stay cache-resident, which is where the
+//! paper's tiling (bottom of Fig 12, with the tile origin skewed by
+//! `K - KK`) comes in.
+//!
+//! All three schedules compute **bitwise identical** results: every black
+//! update still sees fully-updated red neighbours, and reds only read
+//! original blacks. The tests verify this exhaustively, which pins down the
+//! delicate index arithmetic of the skewed tiled loop.
+
+use tiling3d_cachesim::AccessSink;
+use tiling3d_grid::Array3;
+use tiling3d_loopnest::TileDims;
+
+/// FLOPs per updated point (2 multiplies + 6 adds).
+pub const FLOPS_PER_POINT: u64 = 8;
+
+/// Which Fig 12 schedule to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Two full passes: all red points, then all black points.
+    Naive,
+    /// One fused pass: red of plane `K+1`, then black of plane `K`.
+    Fused,
+    /// The fused pass tiled over `(J, I)` with skewed tile origins.
+    Tiled(TileDims),
+}
+
+/// FLOPs in one full red-black iteration (every interior point updated
+/// once) on an `n x n x nk` grid.
+pub fn sweep_flops(n: usize, nk: usize) -> u64 {
+    let interior = (n - 2) as u64;
+    interior * interior * (nk as u64 - 2) * FLOPS_PER_POINT
+}
+
+/// Walks the update points of the **naive** schedule: pass 0 updates red
+/// points (Fortran-even coordinate sums), pass 1 black.
+fn visit_naive(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize)) {
+    for p in 0..2usize {
+        for k in 1..=nk - 2 {
+            for j in 1..=n - 2 {
+                let mut i = 1 + (k + j + p) % 2;
+                while i <= n - 2 {
+                    f(i, j, k);
+                    i += 2;
+                }
+            }
+        }
+    }
+}
+
+/// Walks the update points of the **fused** schedule (middle of Fig 12).
+fn visit_fused(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize)) {
+    for kk in 0..=nk - 2 {
+        // Two-trip inner K loop: K = KK+1 (red), then K = KK (black).
+        for k in [kk + 1, kk] {
+            if !(1..=nk - 2).contains(&k) {
+                continue;
+            }
+            let parity = if k == kk + 1 { 0 } else { 1 }; // red : black
+            for j in 1..=n - 2 {
+                let mut i = 1 + (k + j + parity) % 2;
+                while i <= n - 2 {
+                    f(i, j, k);
+                    i += 2;
+                }
+            }
+        }
+    }
+}
+
+/// Walks the update points of the **tiled** schedule (bottom of Fig 12),
+/// with tile origins skewed by `K - KK` in both `J` and `I`.
+fn visit_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usize, usize)) {
+    let (ti, tj) = (tile.ti, tile.tj);
+    let mut jj = 0usize;
+    while jj <= n - 2 {
+        let mut ii = 0usize;
+        while ii <= n - 2 {
+            for kk in 0..=nk - 2 {
+                for k in [kk + 1, kk] {
+                    if !(1..=nk - 2).contains(&k) {
+                        continue;
+                    }
+                    let sh = k - kk; // skew: 1 on the red trip, 0 on black
+                    let j_lo = (jj + sh).max(1);
+                    let j_hi = (jj + sh + tj - 1).min(n - 2);
+                    for j in j_lo..=j_hi {
+                        // IStart = II + K - KK, parity-corrected to the
+                        // red/black rule; the Fortran `if (IStart.eq.1)
+                        // IStart=3` becomes 0 -> 2 in 0-based indexing.
+                        let is0 = ii + sh;
+                        let mut i = is0 + (kk + j + is0) % 2;
+                        if i == 0 {
+                            i = 2;
+                        }
+                        let i_hi = (ii + sh + ti - 1).min(n - 2);
+                        while i <= i_hi {
+                            f(i, j, k);
+                            i += 2;
+                        }
+                    }
+                }
+            }
+            ii += ti;
+        }
+        jj += tj;
+    }
+}
+
+#[inline(always)]
+fn update(av: &mut [f64], idx: usize, di: usize, ps: usize, c1: f64, c2: f64) {
+    av[idx] = c1 * av[idx]
+        + c2 * (av[idx - 1]
+            + av[idx - di]
+            + av[idx + 1]
+            + av[idx + di]
+            + av[idx - ps]
+            + av[idx + ps]);
+}
+
+/// One full red-black iteration in the chosen schedule, updating `a` in
+/// place: `A = C1*A + C2*(sum of 6 face neighbours)`.
+///
+/// # Panics
+/// Panics unless the `I`/`J` logical extents are equal (the `K` extent may
+/// differ — the paper's evaluation uses `N x N x 30` grids).
+pub fn sweep(a: &mut Array3<f64>, c1: f64, c2: f64, schedule: Schedule) {
+    let n = a.ni();
+    let nk = a.nk();
+    assert!(a.nj() == n, "red-black kernel expects square I/J extents");
+    let (di, ps) = (a.di(), a.plane_stride());
+    let av = a.as_mut_slice();
+    let body = |i: usize, j: usize, k: usize| {
+        update(av, i + j * di + k * ps, di, ps, c1, c2);
+    };
+    match schedule {
+        Schedule::Naive => visit_naive(n, nk, body),
+        Schedule::Fused => visit_fused(n, nk, body),
+        Schedule::Tiled(t) => visit_tiled(n, nk, t, body),
+    }
+}
+
+/// Replays the exact address trace of one iteration (array `A` at byte 0,
+/// allocated `di x dj x n`). Per updated point the accesses follow the
+/// source expression: centre load, the six neighbour loads, centre store.
+pub fn trace<S: AccessSink>(
+    n: usize,
+    nk: usize,
+    di: usize,
+    dj: usize,
+    schedule: Schedule,
+    sink: &mut S,
+) {
+    assert!(di >= n && dj >= n);
+    let ps = di * dj;
+    let mut body = |i: usize, j: usize, k: usize| {
+        let idx = (i + j * di + k * ps) as i64;
+        let at = |off: i64| ((idx + off) * 8) as u64;
+        sink.read(at(0));
+        sink.read(at(-1));
+        sink.read(at(-(di as i64)));
+        sink.read(at(1));
+        sink.read(at(di as i64));
+        sink.read(at(-(ps as i64)));
+        sink.read(at(ps as i64));
+        sink.write(at(0));
+    };
+    match schedule {
+        Schedule::Naive => visit_naive(n, nk, &mut body),
+        Schedule::Fused => visit_fused(n, nk, &mut body),
+        Schedule::Tiled(t) => visit_tiled(n, nk, t, &mut body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tiling3d_cachesim::CountingSink;
+    use tiling3d_grid::fill_random;
+
+    fn grid(n: usize, di: usize, dj: usize, seed: u64) -> Array3<f64> {
+        let mut a = Array3::with_padding(n, n, n, di, dj);
+        fill_random(&mut a, seed);
+        a
+    }
+
+    #[test]
+    fn every_schedule_updates_each_interior_point_once() {
+        let n = 11;
+        for sched in [
+            Schedule::Naive,
+            Schedule::Fused,
+            Schedule::Tiled(TileDims::new(4, 3)),
+        ] {
+            let mut seen = HashSet::new();
+            let visit = |f: &mut dyn FnMut(usize, usize, usize)| match sched {
+                Schedule::Naive => visit_naive(n, n, f),
+                Schedule::Fused => visit_fused(n, n, f),
+                Schedule::Tiled(t) => visit_tiled(n, n, t, f),
+            };
+            visit(&mut |i, j, k| {
+                assert!(seen.insert((i, j, k)), "{sched:?}: duplicate ({i},{j},{k})");
+            });
+            assert_eq!(seen.len(), (n - 2).pow(3), "{sched:?}: coverage");
+        }
+    }
+
+    #[test]
+    fn naive_pass_order_is_red_then_black() {
+        // First (n-2)^3/2-ish updates must all be red (even Fortran parity
+        // = odd 0-based parity sum ... verify via the parity the walker
+        // uses: p=0 points have (i+j+k) even in 0-based + formula terms).
+        let n = 9;
+        let mut phase_one_parity = None;
+        let mut count = 0usize;
+        visit_naive(n, n, |i, j, k| {
+            count += 1;
+            let par = (i + j + k) % 2;
+            if count == 1 {
+                phase_one_parity = Some(par);
+            } else if count <= (n - 2).pow(3) / 2 {
+                assert_eq!(Some(par), phase_one_parity, "mixed colours in pass one");
+            }
+        });
+    }
+
+    #[test]
+    fn fused_matches_naive_bitwise() {
+        for n in [8usize, 9, 12, 15] {
+            let mut a = grid(n, n, n, 42);
+            let mut b = a.clone();
+            sweep(&mut a, 0.4, 0.1, Schedule::Naive);
+            sweep(&mut b, 0.4, 0.1, Schedule::Fused);
+            assert!(a.logical_eq(&b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tiled_matches_naive_bitwise() {
+        for &(n, ti, tj) in &[
+            (8usize, 3usize, 3usize),
+            (9, 2, 5),
+            (12, 4, 4),
+            (15, 1, 1),
+            (15, 100, 100),
+            (13, 5, 2),
+        ] {
+            let mut a = grid(n, n, n, 7);
+            let mut b = a.clone();
+            sweep(&mut a, 0.4, 0.1, Schedule::Naive);
+            sweep(&mut b, 0.4, 0.1, Schedule::Tiled(TileDims::new(ti, tj)));
+            assert!(a.logical_eq(&b), "n={n} tile=({ti},{tj})");
+        }
+    }
+
+    #[test]
+    fn tiled_with_padding_matches_unpadded() {
+        let n = 12;
+        let mut a = grid(n, n, n, 99);
+        let mut b = a.repadded(19, 17);
+        sweep(&mut a, 0.3, 0.1, Schedule::Naive);
+        sweep(&mut b, 0.3, 0.1, Schedule::Tiled(TileDims::new(5, 3)));
+        assert!(a.logical_eq(&b));
+    }
+
+    #[test]
+    fn red_pass_reads_only_original_blacks() {
+        // After only the red half-sweep of the naive schedule, black
+        // points are untouched.
+        let n = 10;
+        let orig = grid(n, n, n, 5);
+        let mut a = orig.clone();
+        let (di, ps) = (a.di(), a.plane_stride());
+        {
+            let av = a.as_mut_slice();
+            // Red pass only (p = 0).
+            for k in 1..=n - 2 {
+                for j in 1..=n - 2 {
+                    let mut i = 1 + (k + j) % 2;
+                    while i <= n - 2 {
+                        update(av, i + j * di + k * ps, di, ps, 0.4, 0.1);
+                        i += 2;
+                    }
+                }
+            }
+        }
+        for (i, j, k, v) in orig.iter_logical() {
+            let red = (1 + (k + j) % 2) % 2 == i % 2;
+            if !red {
+                assert_eq!(a.get(i, j, k), v, "black ({i},{j},{k}) was modified");
+            }
+        }
+    }
+
+    #[test]
+    fn non_cubic_grid_schedules_agree() {
+        let mut a = Array3::with_padding(10, 10, 6, 12, 11);
+        fill_random(&mut a, 31);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        sweep(&mut a, 0.4, 0.1, Schedule::Naive);
+        sweep(&mut b, 0.4, 0.1, Schedule::Fused);
+        sweep(&mut c, 0.4, 0.1, Schedule::Tiled(TileDims::new(3, 4)));
+        assert!(a.logical_eq(&b));
+        assert!(a.logical_eq(&c));
+    }
+
+    #[test]
+    fn trace_access_counts() {
+        let n = 10;
+        let mut c = CountingSink::default();
+        trace(n, n, n, n, Schedule::Fused, &mut c);
+        let pts = (n as u64 - 2).pow(3);
+        assert_eq!(c.reads, 7 * pts);
+        assert_eq!(c.writes, pts);
+        let mut ct = CountingSink::default();
+        trace(n, n, 13, 12, Schedule::Tiled(TileDims::new(3, 4)), &mut ct);
+        assert_eq!(ct.reads, 7 * pts);
+        assert_eq!(ct.writes, pts);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        assert_eq!(sweep_flops(10, 10), 512 * 8);
+        assert_eq!(sweep_flops(10, 6), 8 * 8 * 4 * 8);
+    }
+}

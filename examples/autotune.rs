@@ -1,0 +1,79 @@
+//! Empirical tile autotuning vs the paper's analytic selection.
+//!
+//! Exhaustively simulates a grid of tile sizes for one problem and ranks
+//! them by L1 miss rate, then shows where the analytic choices (Euc3D /
+//! GcdPad / Pad — microseconds of compile time) land relative to the
+//! empirical optimum (minutes of search). The paper's thesis is that the
+//! cost model + conflict analysis gets within a hair of exhaustive search;
+//! this example lets you check that on any size.
+//!
+//! ```text
+//! cargo run --release --example autotune [-- N]
+//! ```
+
+use tiling3d::cachesim::Hierarchy;
+use tiling3d::core::{plan, CacheSpec, Transform};
+use tiling3d::stencil::kernels::Kernel;
+
+fn miss_rate(
+    kernel: Kernel,
+    n: usize,
+    nk: usize,
+    di: usize,
+    dj: usize,
+    tile: Option<(usize, usize)>,
+) -> f64 {
+    let mut h = Hierarchy::ultrasparc2();
+    kernel.trace(n, nk, di, dj, tile, &mut h);
+    h.l1_miss_rate_pct()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(341);
+    let nk = 30usize;
+    let kernel = Kernel::Jacobi;
+    println!(
+        "autotuning {} at {n}x{n}x{nk} (unpadded dims, 16K L1)\n",
+        kernel.name()
+    );
+
+    // Exhaustive-ish sweep over tile sizes (unpadded array).
+    let candidates: Vec<usize> = vec![1, 2, 4, 6, 8, 12, 16, 22, 24, 30, 32, 48, 64, 96, 128];
+    let mut best = (f64::INFINITY, (0usize, 0usize));
+    let mut evaluated = 0usize;
+    for &ti in &candidates {
+        for &tj in &candidates {
+            let r = miss_rate(kernel, n, nk, n, n, Some((ti, tj)));
+            evaluated += 1;
+            if r < best.0 {
+                best = (r, (ti, tj));
+            }
+        }
+    }
+    println!(
+        "exhaustive search over {evaluated} tiles (no padding): best {:.2}% at {:?}",
+        best.0, best.1
+    );
+
+    println!("\nanalytic selections:");
+    for t in [Transform::Euc3D, Transform::GcdPad, Transform::Pad] {
+        let p = plan(t, CacheSpec::ELEMENTS_16K_DOUBLES, n, n, &kernel.shape());
+        let r = miss_rate(kernel, n, nk, p.padded_di, p.padded_dj, p.tile);
+        println!(
+            "  {:<8} tile {:?} pads {}x{}: {:.2}%",
+            t.name(),
+            p.tile.unwrap(),
+            p.padded_di - n,
+            p.padded_dj - n,
+            r
+        );
+    }
+    let orig = miss_rate(kernel, n, nk, n, n, None);
+    println!("  {:<8} {:.2}%", "Orig", orig);
+    println!(
+        "\nthe padded analytic plans should match or beat the exhaustive unpadded\n\
+         search — conflicts that no unpadded tile can avoid are exactly what\n\
+         padding eliminates (Section 3.4)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Solve a periodic 3D Poisson-type problem with the full MGRID-style
+//! V-cycle solver, with the paper's Section 4.6 transformation applied to
+//! the finest-level RESID kernel.
+//!
+//! ```text
+//! cargo run --release --example multigrid_poisson [-- LEVELS ITERS]
+//! ```
+
+use tiling3d::core::{gcd_pad, CacheSpec};
+use tiling3d::loopnest::{StencilShape, TileDims};
+use tiling3d::multigrid::{MgConfig, MgSolver};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let levels: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let m = 1usize << levels;
+
+    println!(
+        "multigrid Poisson solve: finest grid {m}^3 ({} levels), {iters} V-cycles",
+        levels
+    );
+
+    // Transform the finest level like the paper: GcdPad tile + padding.
+    let g = gcd_pad(
+        CacheSpec::ELEMENTS_16K_DOUBLES,
+        m + 2,
+        m + 2,
+        &StencilShape::resid27(),
+    );
+    let cfg = MgConfig {
+        pad_finest: Some((g.di_p, g.dj_p)),
+        tile_finest: Some(TileDims::new(g.iter_tile.0, g.iter_tile.1)),
+        ..MgConfig::mgrid(levels)
+    };
+    println!(
+        "finest-level RESID: tile ({}, {}), arrays padded to {}x{}",
+        g.iter_tile.0, g.iter_tile.1, g.di_p, g.dj_p
+    );
+
+    let mut solver = MgSolver::new(cfg);
+    let mf = m as f64;
+    solver.set_rhs(|i, j, k| {
+        let (x, y, z) = (i as f64 / mf, j as f64 / mf, k as f64 / mf);
+        (2.0 * std::f64::consts::PI * x).sin()
+            * (4.0 * std::f64::consts::PI * y).sin()
+            * (2.0 * std::f64::consts::PI * z).cos()
+    });
+
+    println!("\n{:>6} {:>14}", "cycle", "residual L2");
+    let norms = solver.solve(iters);
+    for (i, n) in norms.iter().enumerate() {
+        println!("{:>6} {:>14.6e}", i, n);
+    }
+    let final_norm = solver.residual_norm();
+    println!("{:>6} {:>14.6e}", iters, final_norm);
+    assert!(
+        final_norm < norms[0] * 1e-3,
+        "V-cycles should reduce the residual by orders of magnitude"
+    );
+
+    println!("\nroutine breakdown:");
+    println!(
+        "  resid {:?} ({:.0}% of routine time, {} calls)   psinv {:?}   rprj3 {:?}   interp {:?}",
+        solver.stats.resid,
+        100.0 * solver.stats.resid_fraction(),
+        solver.stats.resid_calls,
+        solver.stats.psinv,
+        solver.stats.rprj3,
+        solver.stats.interp
+    );
+}

@@ -1,0 +1,109 @@
+//! Cross-crate equivalence: every transformation of every kernel computes
+//! bitwise-identical results to the untransformed original — the safety
+//! property a compiler transformation must guarantee.
+
+use tiling3d::core::{plan, CacheSpec, Transform};
+use tiling3d::grid::Array3;
+use tiling3d::stencil::kernels::{Kernel, KernelState};
+
+fn output(s: &KernelState) -> Array3<f64> {
+    match s {
+        KernelState::Jacobi { a, .. } => a.clone(),
+        KernelState::RedBlack { a } => a.clone(),
+        KernelState::Resid { r, .. } => r.clone(),
+    }
+}
+
+#[test]
+fn every_transform_of_every_kernel_is_result_preserving() {
+    let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
+    for kernel in Kernel::ALL {
+        for &(n, nk) in &[(24usize, 10usize), (37, 9), (50, 16)] {
+            let reference = {
+                let p = plan(Transform::Orig, cache, n, n, &kernel.shape());
+                let mut st = kernel.make_state(n, nk, &p, 0xFEED);
+                kernel.run(&mut st, p.tile);
+                output(&st)
+            };
+            for t in Transform::ALL {
+                let p = plan(t, cache, n, n, &kernel.shape());
+                let mut st = kernel.make_state(n, nk, &p, 0xFEED);
+                kernel.run(&mut st, p.tile);
+                assert!(
+                    reference.logical_eq(&output(&st)),
+                    "{} under {:?} at {n}x{n}x{nk} diverged",
+                    kernel.name(),
+                    t
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
+    for kernel in Kernel::ALL {
+        let p = plan(Transform::Pad, cache, 40, 40, &kernel.shape());
+        let mut s1 = kernel.make_state(40, 12, &p, 3);
+        let mut s2 = kernel.make_state(40, 12, &p, 3);
+        kernel.run(&mut s1, p.tile);
+        kernel.run(&mut s2, p.tile);
+        assert!(output(&s1).logical_eq(&output(&s2)), "{}", kernel.name());
+    }
+}
+
+#[test]
+fn extreme_tiles_are_safe() {
+    // Degenerate (1,1) tiles (the Euc3D fallback) and tiles larger than
+    // the whole iteration space must both work on every kernel.
+    for kernel in Kernel::ALL {
+        let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
+        let orig = plan(Transform::Orig, cache, 20, 20, &kernel.shape());
+        let reference = {
+            let mut st = kernel.make_state(20, 8, &orig, 11);
+            kernel.run(&mut st, None);
+            output(&st)
+        };
+        for tile in [(1usize, 1usize), (1, 19), (19, 1), (1000, 1000)] {
+            let mut st = kernel.make_state(20, 8, &orig, 11);
+            kernel.run(&mut st, Some(tile));
+            assert!(
+                reference.logical_eq(&output(&st)),
+                "{} with tile {tile:?} diverged",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn multigrid_transformed_solver_matches_baseline_exactly() {
+    use tiling3d::loopnest::TileDims;
+    use tiling3d::multigrid::{MgConfig, MgSolver};
+    let mk = |pad: Option<(usize, usize)>, tile: Option<TileDims>| {
+        let cfg = MgConfig {
+            pad_finest: pad,
+            tile_finest: tile,
+            ..MgConfig::mgrid(4)
+        };
+        let mut s = MgSolver::new(cfg);
+        s.set_rhs(|i, j, k| ((i * 31 + j * 17 + k * 7) % 13) as f64 - 6.0);
+        s.solve(3);
+        s
+    };
+    let base = mk(None, None);
+    let transformed = mk(Some((25, 21)), Some(TileDims::new(6, 5)));
+    let (a, b) = (base.solution(), transformed.solution());
+    for k in 1..=16 {
+        for j in 1..=16 {
+            for i in 1..=16 {
+                assert_eq!(
+                    a.get(i, j, k).to_bits(),
+                    b.get(i, j, k).to_bits(),
+                    "solution diverged at ({i},{j},{k})"
+                );
+            }
+        }
+    }
+}

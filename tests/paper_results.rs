@@ -1,0 +1,227 @@
+//! Integration tests pinning the paper's concrete numbers and qualitative
+//! claims — the repository's "does it still reproduce the paper?" gate.
+
+use tiling3d::cachesim::Hierarchy;
+use tiling3d::core::nonconflict::enumerate_array_tiles;
+use tiling3d::core::{euc3d, gcd_pad, memory_overhead_pct, plan, CacheSpec, Transform};
+use tiling3d::loopnest::{reuse, StencilShape};
+use tiling3d::stencil::kernels::Kernel;
+
+const C16K: CacheSpec = CacheSpec::ELEMENTS_16K_DOUBLES;
+
+#[test]
+fn table1_all_entries_present() {
+    let entries = [
+        (1, 1, 2048),
+        (1, 10, 200),
+        (1, 41, 48),
+        (1, 256, 8),
+        (2, 1, 960),
+        (2, 4, 200),
+        (2, 5, 160),
+        (2, 15, 40),
+        (3, 5, 72),
+        (3, 11, 40),
+        (3, 15, 24),
+        (4, 4, 72),
+        (4, 15, 16),
+        (4, 56, 8),
+    ];
+    let tiles = enumerate_array_tiles(2048, 200, 200, 4);
+    for (tk, tj, ti) in entries {
+        assert!(
+            tiles.iter().any(|t| (t.tk, t.tj, t.ti) == (tk, tj, ti)),
+            "missing Table 1 entry TK={tk} TJ={tj} TI={ti}"
+        );
+    }
+}
+
+#[test]
+fn section_3_3_worked_example() {
+    let sel = euc3d(C16K, 200, 200, &StencilShape::jacobi3d());
+    assert_eq!(sel.iter_tile, (22, 13));
+    assert_eq!(
+        (sel.array_tile.tk, sel.array_tile.tj, sel.array_tile.ti),
+        (3, 15, 24)
+    );
+}
+
+#[test]
+fn section_3_4_pathological_341() {
+    let sel = euc3d(C16K, 341, 341, &StencilShape::jacobi3d());
+    assert_eq!(sel.iter_tile, (110, 4));
+}
+
+#[test]
+fn section_3_4_1_gcdpad_tile_choice() {
+    let g = gcd_pad(C16K, 200, 200, &StencilShape::jacobi3d());
+    assert_eq!(
+        (g.array_tile.ti, g.array_tile.tj, g.array_tile.tk),
+        (32, 16, 4)
+    );
+    // Pads bounded by 2T-1 = 63 / 31.
+    assert!(g.di_p - 200 <= 63);
+    assert!(g.dj_p - 200 <= 31);
+}
+
+#[test]
+fn section_1_capacity_boundaries() {
+    let j3 = StencilShape::jacobi3d();
+    assert_eq!(reuse::max_plane_extent(2048, &j3), 32);
+    assert_eq!(reuse::max_plane_extent(262_144, &j3), 362);
+    assert_eq!(
+        reuse::max_column_extent_2d(2048, &StencilShape::jacobi2d()),
+        1024
+    );
+}
+
+/// Table 3's qualitative content at a handful of sizes: every tiling
+/// transformation beats Orig on average L1 miss rate; padding+tiling
+/// (GcdPad/Pad) beats tiling alone (Tile/Euc3D); padding alone (GcdPadNT)
+/// helps least among the five.
+#[test]
+fn table3_qualitative_ordering() {
+    // K extent 30 as in the paper. (K matters beyond measurement time:
+    // with consecutive allocation the *total array size mod cache size*
+    // sets the cross-array base alignment, and GCD-padded plane strides
+    // make that alignment pathological when K = 0 mod 4 — the
+    // cross-interference effect of Section 3.5. K = 30 reproduces the
+    // paper's setup.)
+    let sizes = [200usize, 250, 300, 341, 400];
+    for kernel in Kernel::ALL {
+        let mut means = std::collections::HashMap::new();
+        for t in Transform::ALL {
+            let mut sum = 0.0;
+            for &n in &sizes {
+                let p = plan(t, C16K, n, n, &kernel.shape());
+                let mut h = Hierarchy::ultrasparc2();
+                kernel.trace(n, 30, p.padded_di, p.padded_dj, p.tile, &mut h);
+                sum += h.l1_miss_rate_pct();
+            }
+            means.insert(t.name(), sum / sizes.len() as f64);
+        }
+        let m = |k: &str| means[k];
+        assert!(
+            m("GcdPad") < m("Orig") && m("Pad") < m("Orig"),
+            "{}: padded tiling must beat Orig: {means:?}",
+            kernel.name()
+        );
+        assert!(
+            m("GcdPad") < m("Tile") && m("GcdPad") < m("Euc3D") + 1e-9,
+            "{}: GcdPad must beat unpadded tiling on average: {means:?}",
+            kernel.name()
+        );
+        assert!(
+            m("GcdPadNT") >= m("GcdPad"),
+            "{}: padding alone cannot beat padding+tiling: {means:?}",
+            kernel.name()
+        );
+    }
+}
+
+/// Figures 14/16/18 stability claim: GcdPad and Pad miss rates are *flat*
+/// across problem sizes (including the pathological ones), while Orig and
+/// Euc3D spike.
+#[test]
+fn padded_transforms_are_stable_across_sizes() {
+    let sizes = [200usize, 256, 320, 341, 384];
+    let kernel = Kernel::Jacobi;
+    let range_of = |t: Transform| {
+        let rates: Vec<f64> = sizes
+            .iter()
+            .map(|&n| {
+                let p = plan(t, C16K, n, n, &kernel.shape());
+                let mut h = Hierarchy::ultrasparc2();
+                kernel.trace(n, 16, p.padded_di, p.padded_dj, p.tile, &mut h);
+                h.l1_miss_rate_pct()
+            })
+            .collect();
+        let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rates.iter().cloned().fold(0.0, f64::max);
+        hi - lo
+    };
+    let stable = range_of(Transform::GcdPad).max(range_of(Transform::Pad));
+    let unstable = range_of(Transform::Orig).max(range_of(Transform::Euc3D));
+    assert!(
+        stable < 4.0,
+        "GcdPad/Pad should be flat; range {stable:.1} percentage points"
+    );
+    assert!(
+        unstable > 10.0,
+        "Orig/Euc3D should spike at pathological sizes; range {unstable:.1}"
+    );
+    assert!(stable < unstable / 2.0);
+}
+
+/// Fig 22: Pad's memory overhead never exceeds GcdPad's, and both shrink
+/// as N grows on average.
+#[test]
+fn fig22_overhead_ordering() {
+    let shape = StencilShape::jacobi3d();
+    let mut gcd_total = 0.0;
+    let mut pad_total = 0.0;
+    for n in (200..=400).step_by(16) {
+        let g = plan(Transform::GcdPad, C16K, n, n, &shape);
+        let p = plan(Transform::Pad, C16K, n, n, &shape);
+        let og = memory_overhead_pct(n, n, 30, g.padded_di, g.padded_dj);
+        let op = memory_overhead_pct(n, n, 30, p.padded_di, p.padded_dj);
+        assert!(op <= og + 1e-9, "N={n}: Pad {op:.2}% > GcdPad {og:.2}%");
+        gcd_total += og;
+        pad_total += op;
+    }
+    // Paper averages: 14.7% vs 4.7% — ours must preserve the big gap.
+    assert!(
+        pad_total < gcd_total / 2.0,
+        "Pad should pad far less than GcdPad"
+    );
+}
+
+/// Section 4.2: tiling targets L1 but L2 misses must not get *worse*
+/// (the paper observes small L2 improvements as a side effect).
+#[test]
+fn l2_never_degrades_much_under_padded_tiling() {
+    for kernel in Kernel::ALL {
+        for &n in &[250usize, 341, 400] {
+            let orig = plan(Transform::Orig, C16K, n, n, &kernel.shape());
+            let tiled = plan(Transform::GcdPad, C16K, n, n, &kernel.shape());
+            let rate = |p: &tiling3d::core::TransformPlan| {
+                let mut h = Hierarchy::ultrasparc2();
+                kernel.trace(n, 16, p.padded_di, p.padded_dj, p.tile, &mut h);
+                h.l2_miss_rate_pct()
+            };
+            let (ro, rt) = (rate(&orig), rate(&tiled));
+            assert!(
+                rt <= ro + 0.5,
+                "{} N={n}: L2 degraded {ro:.2}% -> {rt:.2}%",
+                kernel.name()
+            );
+        }
+    }
+}
+
+/// The paper's core mechanism, verified directly with a 3C (cold /
+/// capacity / conflict) miss classification: the padded transforms
+/// eliminate *conflict* misses almost entirely at a pathological size,
+/// while the unpadded ones drown in them. Cold and capacity components
+/// are untouched — padding fixes mapping, not footprint.
+#[test]
+fn padded_transforms_eliminate_conflict_misses() {
+    use tiling3d::cachesim::ThreeC;
+    let n = 320; // plane stride = 0 mod cache: worst case
+    let kernel = Kernel::Jacobi;
+    let conflict_pct = |t: Transform| {
+        let p = plan(t, C16K, n, n, &kernel.shape());
+        let mut c = ThreeC::ultrasparc2_l1();
+        kernel.trace(n, 16, p.padded_di, p.padded_dj, p.tile, &mut c);
+        c.conflict_rate_pct()
+    };
+    let orig = conflict_pct(Transform::Orig);
+    let gcd = conflict_pct(Transform::GcdPad);
+    let pad = conflict_pct(Transform::Pad);
+    assert!(
+        orig > 20.0,
+        "N=320 should be conflict-dominated, got {orig:.1}%"
+    );
+    assert!(gcd < 1.0, "GcdPad must eliminate conflicts, got {gcd:.1}%");
+    assert!(pad < 1.0, "Pad must eliminate conflicts, got {pad:.1}%");
+}

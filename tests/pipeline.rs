@@ -1,0 +1,189 @@
+//! End-to-end pipeline tests: plan → kernel → trace → simulator, plus the
+//! "compiler view" cross-check (loop-IR interpreter vs hand-written
+//! kernels).
+
+use tiling3d::cachesim::{AccessSink, CountingSink, DistinctLineCounter, Hierarchy};
+use tiling3d::core::{plan, CacheSpec, CostModel, Transform};
+use tiling3d::loopnest::{ArrayDesc, Nest, StencilShape};
+use tiling3d::stencil::kernels::Kernel;
+
+#[test]
+fn trace_volumes_match_closed_forms_for_all_plans() {
+    let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
+    for kernel in Kernel::ALL {
+        for t in Transform::ALL {
+            let (n, nk) = (40usize, 12usize);
+            let p = plan(t, cache, n, n, &kernel.shape());
+            let mut c = CountingSink::default();
+            kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut c);
+            let pts = ((n - 2) * (n - 2) * (nk - 2)) as u64;
+            assert_eq!(
+                c.reads + c.writes,
+                pts * kernel.accesses_per_point(),
+                "{} {:?}",
+                kernel.name(),
+                t
+            );
+        }
+    }
+}
+
+/// The cost model predicts *distinct lines touched per iteration point* up
+/// to the invariant N^3/L factor; check the prediction against the actual
+/// distinct-line counts of traced tiles (fully-associative view).
+#[test]
+fn cost_model_tracks_distinct_line_traffic() {
+    let shape = StencilShape::jacobi3d();
+    let cost = CostModel::from_shape(&shape);
+    let (n, nk) = (120usize, 12usize);
+    let count_for = |ti: usize, tj: usize| -> f64 {
+        let mut d = DistinctLineCounter::new(32);
+        // Trace only array B (reads): replicate the read side by tracing
+        // the full kernel and counting all lines; A contributes the same
+        // constant per tile shape so the comparison still orders shapes.
+        tiling3d::stencil::jacobi3d::trace(
+            n,
+            n,
+            nk,
+            n,
+            n,
+            Some(tiling3d::loopnest::TileDims::new(ti, tj)),
+            &mut d,
+        );
+        d.distinct_lines() as f64
+    };
+    // Square-ish tile vs degenerate tile of equal area: the cost model says
+    // the square tile touches fewer lines; the trace must agree.
+    let square = count_for(16, 16);
+    let skewed = count_for(256, 1);
+    assert!(cost.eval(16, 16) < cost.eval(256, 1));
+    assert!(
+        square <= skewed,
+        "square tile should touch no more lines: {square} vs {skewed}"
+    );
+}
+
+#[test]
+fn loop_ir_reproduces_kernel_misses_for_tiled_jacobi() {
+    // Build the tiled Jacobi nest in the loop IR, interpret it, and check
+    // the *simulated misses* equal the handwritten kernel trace's.
+    let (n, nk, di, dj) = (60usize, 10usize, 64usize, 62usize);
+    let (ti, tj) = (14usize, 9usize);
+
+    let mut h1 = Hierarchy::ultrasparc2();
+    tiling3d::stencil::jacobi3d::trace(
+        n,
+        n,
+        nk,
+        di,
+        dj,
+        Some(tiling3d::loopnest::TileDims::new(ti, tj)),
+        &mut h1,
+    );
+
+    let mut nest = Nest::stencil(
+        &StencilShape::jacobi3d(),
+        (1, n as i64 - 2),
+        (1, n as i64 - 2),
+        (1, nk as i64 - 2),
+        0,
+        1,
+    );
+    nest.tile_jj_ii(ti, tj);
+    let arrays = [
+        ArrayDesc {
+            base: (di * dj * nk * 8) as u64,
+            di,
+            dj,
+        }, // B after A
+        ArrayDesc { base: 0, di, dj }, // A
+    ];
+    let mut h2 = Hierarchy::ultrasparc2();
+    nest.execute(&arrays, &mut h2);
+
+    assert_eq!(h1.l1_stats(), h2.l1_stats());
+    assert_eq!(h1.l2_stats(), h2.l2_stats());
+}
+
+#[test]
+fn resid_ir_trace_is_a_permutation_of_kernel_trace() {
+    // RESID's source orders the 27 U reads centre-first; the generic shape
+    // orders them lexicographically. Same multiset, same miss totals under
+    // a fully-associative distinct-line view.
+    let (n, nk) = (20usize, 8usize);
+    let mut d1 = DistinctLineCounter::new(32);
+    tiling3d::stencil::resid::trace(n, n, nk, n, n, None, &mut d1);
+
+    let mut refs: Vec<tiling3d::loopnest::ArrayRef> = StencilShape::resid27()
+        .offsets()
+        .iter()
+        .map(|&off| tiling3d::loopnest::ArrayRef {
+            array: 1,
+            off,
+            write: false,
+        })
+        .collect();
+    refs.push(tiling3d::loopnest::ArrayRef {
+        array: 2,
+        off: (0, 0, 0),
+        write: false,
+    }); // V read
+    refs.push(tiling3d::loopnest::ArrayRef {
+        array: 0,
+        off: (0, 0, 0),
+        write: true,
+    }); // R write
+    let nest = Nest::source(
+        (1, n as i64 - 2),
+        (1, n as i64 - 2),
+        (1, nk as i64 - 2),
+        refs,
+    );
+    let bytes = (n * n * nk * 8) as u64;
+    let arrays = [
+        ArrayDesc {
+            base: 0,
+            di: n,
+            dj: n,
+        },
+        ArrayDesc {
+            base: bytes,
+            di: n,
+            dj: n,
+        },
+        ArrayDesc {
+            base: 2 * bytes,
+            di: n,
+            dj: n,
+        },
+    ];
+    let mut d2 = DistinctLineCounter::new(32);
+    nest.execute(&arrays, &mut d2);
+
+    assert_eq!(d1.accesses, d2.accesses);
+    assert_eq!(d1.distinct_lines(), d2.distinct_lines());
+}
+
+#[test]
+fn write_around_isolates_output_array() {
+    // The paper's analysis assumes writes to A cannot evict B's tile.
+    // Verify directly: the L1 miss count of the B-read stream is identical
+    // whether or not the A-writes are interleaved.
+    struct ReadsOnly<'a>(&'a mut Hierarchy);
+    impl AccessSink for ReadsOnly<'_> {
+        fn read(&mut self, a: u64) {
+            self.0.read(a);
+        }
+        fn write(&mut self, _a: u64) {}
+    }
+    let (n, nk) = (80usize, 10usize);
+    let mut with_writes = Hierarchy::ultrasparc2();
+    tiling3d::stencil::jacobi3d::trace(n, n, nk, n, n, None, &mut with_writes);
+    let mut reads_only = Hierarchy::ultrasparc2();
+    tiling3d::stencil::jacobi3d::trace(n, n, nk, n, n, None, &mut ReadsOnly(&mut reads_only));
+    assert_eq!(
+        with_writes.l1_stats().read_misses,
+        reads_only.l1_stats().read_misses,
+        "write-around writes must not disturb the read stream"
+    );
+}

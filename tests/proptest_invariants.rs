@@ -1,0 +1,310 @@
+//! Property-based tests (proptest) for the core invariants.
+
+use proptest::prelude::*;
+
+use tiling3d::cachesim::{Cache, CacheConfig, ReplacementPolicy, WritePolicy};
+use tiling3d::core::nonconflict::{enumerate_depth, max_ti, verify_nonconflicting};
+use tiling3d::core::{gcd_pad, pad, plan, CacheSpec, CostModel, Transform};
+use tiling3d::grid::{fill_random, Array3};
+use tiling3d::loopnest::{StencilShape, TileDims};
+use tiling3d::stencil::{jacobi3d, redblack, resid};
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental enumeration agrees with brute force and with the
+    /// occupancy oracle for arbitrary geometry.
+    #[test]
+    fn nonconflicting_enumeration_is_sound_and_maximal(
+        cpow in 6u32..12, // cache 64..2048 elements
+        di in 3usize..600,
+        dj in 3usize..600,
+        tk in 1usize..5,
+    ) {
+        let c = 1usize << cpow;
+        let tiles = enumerate_depth(c, di, dj, tk);
+        for t in &tiles {
+            prop_assert_eq!(max_ti(c, di, dj, t.tj, tk), t.ti);
+            prop_assert!(verify_nonconflicting(c, di, dj, t));
+            let bigger = tiling3d::core::ArrayTile { ti: t.ti + 1, ..*t };
+            prop_assert!(!verify_nonconflicting(c, di, dj, &bigger));
+        }
+        // Breakpoints strictly decrease in TI and increase in TJ.
+        for w in tiles.windows(2) {
+            prop_assert!(w[1].ti < w[0].ti);
+            prop_assert!(w[1].tj > w[0].tj);
+        }
+    }
+
+    /// GcdPad's promised invariants hold for arbitrary dimensions:
+    /// gcd(DI_p, C) = TI, gcd(DJ_p, C) = TJ, pads bounded by 2T-1, and the
+    /// resulting array tile never self-interferes.
+    #[test]
+    fn gcdpad_invariants(di in 8usize..2000, dj in 8usize..2000) {
+        let cache = CacheSpec { elements: 2048 };
+        let shape = StencilShape::jacobi3d();
+        let g = gcd_pad(cache, di, dj, &shape);
+        prop_assert_eq!(gcd(g.di_p, 2048), g.array_tile.ti);
+        prop_assert_eq!(gcd(g.dj_p, 2048), g.array_tile.tj);
+        prop_assert!(g.di_p >= di && g.di_p - di < 2 * g.array_tile.ti);
+        prop_assert!(g.dj_p >= dj && g.dj_p - dj < 2 * g.array_tile.tj);
+        prop_assert!(verify_nonconflicting(2048, g.di_p, g.dj_p, &g.array_tile));
+    }
+
+    /// Pad's contract: pads bounded by GcdPad's, cost no worse than
+    /// GcdPad's, selected tile conflict-free under the selected pads.
+    #[test]
+    fn pad_contract(d in 100usize..420) {
+        let cache = CacheSpec { elements: 2048 };
+        let shape = StencilShape::jacobi3d();
+        let g = gcd_pad(cache, d, d, &shape);
+        let p = pad(cache, d, d, &shape);
+        prop_assert!(p.di_p >= d && p.di_p <= g.di_p);
+        prop_assert!(p.dj_p >= d && p.dj_p <= g.dj_p);
+        let cost = CostModel::from_shape(&shape);
+        let cost_star = cost.eval(g.iter_tile.0 as i64, g.iter_tile.1 as i64);
+        prop_assert!(p.selection.cost <= cost_star + 1e-9);
+        prop_assert!(verify_nonconflicting(
+            2048,
+            p.di_p,
+            p.dj_p,
+            &p.selection.array_tile
+        ));
+    }
+
+    /// Tiled Jacobi equals untiled for arbitrary shapes, pads and tiles.
+    #[test]
+    fn jacobi_tiling_preserves_results(
+        n in 4usize..24,
+        nk in 3usize..12,
+        pad_i in 0usize..7,
+        pad_j in 0usize..7,
+        ti in 1usize..30,
+        tj in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let (di, dj) = (n + pad_i, n + pad_j);
+        let mut b = Array3::with_padding(n, n, nk, di, dj);
+        fill_random(&mut b, seed);
+        let mut a1 = Array3::with_padding(n, n, nk, di, dj);
+        let mut a2 = a1.clone();
+        jacobi3d::sweep(&mut a1, &b, 1.0 / 6.0);
+        jacobi3d::sweep_tiled(&mut a2, &b, 1.0 / 6.0, TileDims::new(ti, tj));
+        prop_assert!(a1.logical_eq(&a2));
+    }
+
+    /// The skewed tiled red-black schedule equals the naive schedule for
+    /// arbitrary sizes and tiles — the strongest correctness property in
+    /// the workspace (ordering-sensitive in-place updates).
+    #[test]
+    fn redblack_tiling_preserves_results(
+        n in 4usize..20,
+        nk in 3usize..14,
+        ti in 1usize..24,
+        tj in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut a = Array3::new(n, n, nk);
+        fill_random(&mut a, seed);
+        let mut b = a.clone();
+        redblack::sweep(&mut a, 0.4, 0.1, redblack::Schedule::Naive);
+        redblack::sweep(&mut b, 0.4, 0.1, redblack::Schedule::Tiled(TileDims::new(ti, tj)));
+        prop_assert!(a.logical_eq(&b));
+    }
+
+    /// Parallel K-slab sweeps equal sequential for arbitrary thread counts.
+    #[test]
+    fn parallel_equals_sequential(
+        n in 5usize..20,
+        nk in 3usize..16,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut u = Array3::new(n, n, nk);
+        let mut v = Array3::new(n, n, nk);
+        fill_random(&mut u, seed);
+        fill_random(&mut v, seed ^ 1);
+        let mut seq = Array3::new(n, n, nk);
+        resid::sweep(&mut seq, &u, &v, &resid::Coeffs::MGRID_A, None);
+        let mut par = Array3::new(n, n, nk);
+        tiling3d::stencil::parallel::resid_sweep(
+            &mut par, &u, &v, &resid::Coeffs::MGRID_A, None, threads,
+        );
+        prop_assert!(seq.logical_eq(&par));
+    }
+
+    /// The set-associative cache against a trivially-correct reference
+    /// model (vector of per-set LRU queues).
+    #[test]
+    fn cache_matches_reference_lru_model(
+        ways_pow in 0u32..3,
+        accesses in proptest::collection::vec((0u64..4096, any::<bool>()), 1..400),
+    ) {
+        let ways = 1usize << ways_pow;
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways,
+            write_policy: WritePolicy::WriteAround,
+            replacement: ReplacementPolicy::Lru,
+        };
+        let mut cache = Cache::new(cfg);
+        // Reference: per-set Vec kept in LRU order (front = most recent).
+        let sets = cfg.num_sets();
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for &(addr, is_write) in &accesses {
+            let line = addr >> 6;
+            let set = (line as usize) % sets;
+            let q = &mut model[set];
+            let hit = q.iter().position(|&t| t == line);
+            let expect_miss = hit.is_none();
+            match hit {
+                Some(pos) => {
+                    let t = q.remove(pos);
+                    q.insert(0, t);
+                }
+                None if !is_write => {
+                    q.insert(0, line);
+                    q.truncate(ways);
+                }
+                None => {} // write-around: no allocate
+            }
+            let miss = cache.access(addr, is_write);
+            prop_assert_eq!(miss, expect_miss, "addr {} write {}", addr, is_write);
+        }
+    }
+
+    /// Cost model sanity: scaling both tile dims up never increases cost,
+    /// and the square tile is optimal among equal-area tiles.
+    #[test]
+    fn cost_model_monotone_and_square_optimal(ti in 1i64..64, tj in 1i64..64) {
+        let cost = CostModel::new(2, 2);
+        prop_assert!(cost.eval(2 * ti, 2 * tj) <= cost.eval(ti, tj));
+        let area = ti * tj;
+        let sq = (area as f64).sqrt();
+        let (a, b) = (sq.floor() as i64, sq.ceil() as i64);
+        if a > 0 && a * b == area {
+            prop_assert!(cost.eval(a, b) <= cost.eval(ti, tj) + 1e-12);
+        }
+    }
+
+    /// Planning never panics and always yields legal plans for any size.
+    #[test]
+    fn planning_is_total(n in 3usize..700) {
+        for t in Transform::ALL {
+            let p = plan(t, CacheSpec::ELEMENTS_16K_DOUBLES, n, n, &StencilShape::resid27());
+            prop_assert!(p.padded_di >= n && p.padded_dj >= n);
+            if let Some((ti, tj)) = p.tile {
+                prop_assert!(ti >= 1 && tj >= 1);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The 3C classes partition the real cache's misses for any trace.
+    #[test]
+    fn threec_classes_partition_misses(
+        accesses in proptest::collection::vec((0u64..16384, any::<bool>()), 1..600),
+        ways_pow in 0u32..2,
+    ) {
+        use tiling3d::cachesim::ThreeC;
+        let cfg = CacheConfig {
+            size_bytes: 2048,
+            line_bytes: 32,
+            ways: 1 << ways_pow,
+            write_policy: WritePolicy::WriteAround,
+            replacement: ReplacementPolicy::Lru,
+        };
+        let mut c = ThreeC::new(cfg);
+        for &(a, w) in &accesses {
+            if w {
+                use tiling3d::cachesim::AccessSink;
+                c.write(a);
+            } else {
+                use tiling3d::cachesim::AccessSink;
+                c.read(a);
+            }
+        }
+        prop_assert_eq!(c.cold + c.capacity + c.conflict, c.total_misses());
+        prop_assert_eq!(c.accesses, accesses.len() as u64);
+    }
+
+    /// Euclid's 2D candidate tiles are always sound for arbitrary strides.
+    #[test]
+    fn euclid_2d_tiles_never_conflict(cpow in 5u32..12, di in 1usize..5000) {
+        use tiling3d::core::nonconflict::{euclid_tiles_2d, verify_nonconflicting};
+        use tiling3d::core::ArrayTile;
+        let c = 1usize << cpow;
+        for (ti, tj) in euclid_tiles_2d(c, di) {
+            let tile = ArrayTile { ti, tj, tk: 1 };
+            prop_assert!(verify_nonconflicting(c, di, di, &tile));
+        }
+    }
+
+    /// Inter-variable staggering never shrinks separations below the
+    /// target and keeps arrays disjoint, for arbitrary geometry.
+    #[test]
+    fn staggered_bases_are_sound(
+        count in 1usize..6,
+        array_kb in 1u64..512,
+        cache_pow in 10u32..18,
+    ) {
+        use tiling3d::core::intervar::staggered_bases;
+        let cache = 1u64 << cache_pow;
+        let bytes = array_kb * 1024 + 8; // deliberately unaligned sizes
+        let bases = staggered_bases(count, bytes, cache, 64);
+        for w in bases.windows(2) {
+            prop_assert!(w[1] >= w[0] + bytes, "arrays overlap");
+        }
+        for &b in &bases {
+            prop_assert_eq!(b % 64, 0);
+        }
+    }
+
+    /// The time-skewed schedule equals the naive one for arbitrary
+    /// parameters (the strongest legality check for the skew).
+    #[test]
+    fn time_skewing_preserves_results(
+        n in 4usize..16,
+        steps in 0usize..7,
+        st in 1usize..9,
+        sj in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        use tiling3d::grid::{fill_random2, Array2};
+        use tiling3d::stencil::timeskew;
+        let mut b0 = Array2::new(n, n);
+        fill_random2(&mut b0, seed);
+        let mut a = [b0.clone(), b0.clone()];
+        let mut b = [b0.clone(), b0];
+        timeskew::run_naive(&mut a, 0.25, steps);
+        timeskew::run_time_skewed(&mut b, 0.25, steps, st, sj);
+        prop_assert!(a[steps % 2].logical_eq(&b[steps % 2]));
+    }
+
+    /// The analytic predictor is internally consistent: bigger
+    /// non-degenerate tiles never predict more misses.
+    #[test]
+    fn predictor_monotone_in_tile_area(ti in 2usize..64, tj in 2usize..64) {
+        use tiling3d::core::predict::{predict_tiled, SweepSpec};
+        let spec = SweepSpec::jacobi3d();
+        let small = predict_tiled(
+            tiling3d::core::CacheSpec::ELEMENTS_16K_DOUBLES, 4, &spec, 200, 30, ti, tj,
+        );
+        let big = predict_tiled(
+            tiling3d::core::CacheSpec::ELEMENTS_16K_DOUBLES, 4, &spec, 200, 30, 2 * ti, 2 * tj,
+        );
+        prop_assert!(big.misses <= small.misses + 1e-9);
+    }
+}
