@@ -1,45 +1,40 @@
-//! Criterion benches for the tile-selection algorithms themselves.
+//! Micro-benchmarks for the tile-selection algorithms themselves.
 //!
 //! Section 3.3 argues Euc3D's efficiency matters because multigrid codes
 //! select tiles at runtime for a succession of grid sizes ("inexpensive
 //! algorithms can have an impact on codes where array sizes are not known
 //! at compile time"). These benches verify the planning costs are tiny
 //! (micro- to milliseconds) and compare Euc3D / GcdPad / Pad overheads.
+//!
+//! ```text
+//! cargo bench -p tiling3d-bench --bench algorithms
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use tiling3d_bench::microbench::run;
 use tiling3d_core::{euc3d, gcd_pad, pad, plan, CacheSpec, Transform};
 use tiling3d_loopnest::StencilShape;
 
-fn bench_selection(c: &mut Criterion) {
+fn main() {
     let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
     let shape = StencilShape::jacobi3d();
-    let mut g = c.benchmark_group("selection");
     for &n in &[200usize, 341, 400, 700] {
-        g.bench_with_input(BenchmarkId::new("euc3d", n), &n, |b, &n| {
-            b.iter(|| euc3d(cache, black_box(n), black_box(n), &shape))
+        run(&format!("selection/euc3d/{n}"), None, || {
+            black_box(euc3d(cache, black_box(n), black_box(n), &shape));
         });
-        g.bench_with_input(BenchmarkId::new("gcd_pad", n), &n, |b, &n| {
-            b.iter(|| gcd_pad(cache, black_box(n), black_box(n), &shape))
+        run(&format!("selection/gcd_pad/{n}"), None, || {
+            black_box(gcd_pad(cache, black_box(n), black_box(n), &shape));
         });
-        g.bench_with_input(BenchmarkId::new("pad", n), &n, |b, &n| {
-            b.iter(|| pad(cache, black_box(n), black_box(n), &shape))
+        run(&format!("selection/pad/{n}"), None, || {
+            black_box(pad(cache, black_box(n), black_box(n), &shape));
         });
     }
-    g.finish();
-}
 
-fn bench_full_planning(c: &mut Criterion) {
-    let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
-    let shape = StencilShape::resid27();
-    c.bench_function("plan_all_transforms_n341", |b| {
-        b.iter(|| {
-            for t in Transform::ALL {
-                black_box(plan(t, cache, black_box(341), black_box(341), &shape));
-            }
-        })
+    let resid = StencilShape::resid27();
+    run("plan_all_transforms_n341", None, || {
+        for t in Transform::ALL {
+            black_box(plan(t, cache, black_box(341), black_box(341), &resid));
+        }
     });
 }
-
-criterion_group!(benches, bench_selection, bench_full_planning);
-criterion_main!(benches);

@@ -1,37 +1,33 @@
-//! Criterion benches of the three evaluation kernels, original vs the
+//! Micro-benchmarks of the three evaluation kernels, original vs the
 //! GcdPad-tiled variant (wall-clock counterpart of Figs 15/17/19 at a few
 //! representative sizes; the full sweeps live in the `fig_perf` binary).
+//!
+//! ```text
+//! cargo bench -p tiling3d-bench --bench kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use tiling3d_bench::microbench::run;
 use tiling3d_bench::{plan_for, SweepConfig};
 use tiling3d_core::Transform;
 use tiling3d_stencil::kernels::Kernel;
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let cfg = SweepConfig {
         nk: 30,
         ..Default::default()
     };
     for kernel in Kernel::ALL {
-        let mut g = c.benchmark_group(kernel.name());
         for &n in &[200usize, 341] {
-            g.throughput(Throughput::Elements(kernel.sweep_flops(n, cfg.nk)));
+            let flops = kernel.sweep_flops(n, cfg.nk);
             for t in [Transform::Orig, Transform::GcdPad] {
                 let p = plan_for(&cfg, kernel, t, n);
                 let mut state = kernel.make_state(n, cfg.nk, &p, 7);
-                g.bench_with_input(BenchmarkId::new(t.name(), n), &p.tile, |b, tile| {
-                    b.iter(|| kernel.run(black_box(&mut state), *tile))
-                });
+                run(
+                    &format!("{}/{}/{n}", kernel.name(), t.name()),
+                    Some(flops),
+                    || kernel.run(&mut state, p.tile),
+                );
             }
         }
-        g.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels
-}
-criterion_main!(benches);

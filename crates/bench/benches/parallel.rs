@@ -1,22 +1,24 @@
-//! Criterion benches of the K-slab parallel sweeps: tiling composed with
+//! Micro-benchmarks of the K-slab parallel sweeps: tiling composed with
 //! thread parallelism (DESIGN.md ablation 7).
+//!
+//! ```text
+//! cargo bench -p tiling3d-bench --bench parallel
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+
+use tiling3d_bench::microbench::run;
 use tiling3d_grid::{fill_random, Array3};
 use tiling3d_loopnest::TileDims;
 use tiling3d_stencil::{jacobi3d, parallel};
 
-fn bench_parallel_jacobi(c: &mut Criterion) {
+fn main() {
     let (n, nk) = (256usize, 32usize);
     let mut b_arr = Array3::new(n, n, nk);
     fill_random(&mut b_arr, 11);
     let mut a = Array3::new(n, n, nk);
     let flops = jacobi3d::sweep_flops(n, n, nk);
 
-    let mut g = c.benchmark_group("parallel_jacobi");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(flops));
     let max_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -24,23 +26,23 @@ fn bench_parallel_jacobi(c: &mut Criterion) {
         if threads > max_threads.max(1) * 2 {
             continue;
         }
-        g.bench_with_input(BenchmarkId::new("untiled", threads), &threads, |bch, &t| {
-            bch.iter(|| parallel::jacobi3d_sweep(black_box(&mut a), &b_arr, 1.0 / 6.0, None, t))
-        });
-        g.bench_with_input(BenchmarkId::new("tiled", threads), &threads, |bch, &t| {
-            bch.iter(|| {
+        run(
+            &format!("parallel_jacobi/untiled/{threads}"),
+            Some(flops),
+            || parallel::jacobi3d_sweep(black_box(&mut a), &b_arr, 1.0 / 6.0, None, threads),
+        );
+        run(
+            &format!("parallel_jacobi/tiled/{threads}"),
+            Some(flops),
+            || {
                 parallel::jacobi3d_sweep(
                     black_box(&mut a),
                     &b_arr,
                     1.0 / 6.0,
                     Some(TileDims::new(30, 14)),
-                    t,
+                    threads,
                 )
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_parallel_jacobi);
-criterion_main!(benches);

@@ -3,12 +3,16 @@
 //! and the GcdPad tile depth (ATD/TK).
 //!
 //! ```text
-//! cargo run --release -p tiling3d-bench --bin ablation -- assoc|line|write|atd|threads [--n 300 --nk 30]
+//! cargo run --release -p tiling3d-bench --bin ablation -- assoc|line|write|atd|threads [--n 300 --nk 30 --jobs N]
 //! ```
+//!
+//! All simulation sweeps shard their independent configurations across the
+//! `--jobs` worker pool; the wall-clock `threads` sweep is itself the
+//! measurement and always runs alone.
 
 use std::time::Instant;
 
-use tiling3d_bench::cli;
+use tiling3d_bench::{cli, SimPool};
 use tiling3d_cachesim::{CacheConfig, Hierarchy, ReplacementPolicy, WritePolicy};
 use tiling3d_core::{plan, CacheSpec, Transform};
 use tiling3d_grid::{fill_random, Array3};
@@ -28,73 +32,91 @@ fn simulate(kernel: Kernel, n: usize, nk: usize, t: Transform, l1: CacheConfig) 
     h.l1_miss_rate_pct()
 }
 
-fn assoc_sweep(n: usize, nk: usize) {
+fn assoc_sweep(n: usize, nk: usize, pool: &SimPool) {
     println!("L1 associativity ablation (JACOBI, N={n}): conflict misses — and thus");
     println!("the gap between Tile and GcdPad — should fade as associativity grows.");
     println!(
         "{:>6}{:>10}{:>10}{:>10}{:>10}",
         "ways", "Orig", "Tile", "Euc3D", "GcdPad"
     );
-    for ways in [1usize, 2, 4, 8] {
+    const WAYS: [usize; 4] = [1, 2, 4, 8];
+    const TS: [Transform; 4] = [
+        Transform::Orig,
+        Transform::Tile,
+        Transform::Euc3D,
+        Transform::GcdPad,
+    ];
+    let points: Vec<(usize, Transform)> = WAYS
+        .iter()
+        .flat_map(|&w| TS.iter().map(move |&t| (w, t)))
+        .collect();
+    let rates = pool.map(&points, |&(ways, t)| {
         let l1 = CacheConfig {
             ways,
             ..CacheConfig::ULTRASPARC2_L1
         };
+        simulate(Kernel::Jacobi, n, nk, t, l1)
+    });
+    for (r, ways) in WAYS.iter().enumerate() {
         print!("{ways:>6}");
-        for t in [
-            Transform::Orig,
-            Transform::Tile,
-            Transform::Euc3D,
-            Transform::GcdPad,
-        ] {
-            print!("{:>10.2}", simulate(Kernel::Jacobi, n, nk, t, l1));
+        for v in &rates[r * TS.len()..(r + 1) * TS.len()] {
+            print!("{v:>10.2}");
         }
         println!();
     }
 }
 
-fn line_sweep(n: usize, nk: usize) {
+fn line_sweep(n: usize, nk: usize, pool: &SimPool) {
     println!("L1 line-size ablation (JACOBI, N={n}), GcdPad vs Orig:");
     println!("{:>6}{:>10}{:>10}", "line", "Orig", "GcdPad");
-    for line in [16usize, 32, 64, 128] {
+    const LINES: [usize; 4] = [16, 32, 64, 128];
+    let points: Vec<(usize, Transform)> = LINES
+        .iter()
+        .flat_map(|&l| [(l, Transform::Orig), (l, Transform::GcdPad)])
+        .collect();
+    let rates = pool.map(&points, |&(line_bytes, t)| {
         let l1 = CacheConfig {
-            line_bytes: line,
+            line_bytes,
             ..CacheConfig::ULTRASPARC2_L1
         };
-        println!(
-            "{line:>6}{:>10.2}{:>10.2}",
-            simulate(Kernel::Jacobi, n, nk, Transform::Orig, l1),
-            simulate(Kernel::Jacobi, n, nk, Transform::GcdPad, l1)
-        );
+        simulate(Kernel::Jacobi, n, nk, t, l1)
+    });
+    for (r, line) in LINES.iter().enumerate() {
+        println!("{line:>6}{:>10.2}{:>10.2}", rates[2 * r], rates[2 * r + 1]);
     }
 }
 
-fn write_sweep(n: usize, nk: usize) {
+fn write_sweep(n: usize, nk: usize, pool: &SimPool) {
     println!("L1 write-policy ablation (JACOBI, N={n}):");
     println!("{:>14}{:>10}{:>10}", "policy", "Orig", "GcdPad");
-    for (name, wp) in [
+    const POLICIES: [(&str, WritePolicy); 2] = [
         ("write-around", WritePolicy::WriteAround),
         ("write-alloc", WritePolicy::WriteAllocate),
-    ] {
+    ];
+    let points: Vec<(WritePolicy, Transform)> = POLICIES
+        .iter()
+        .flat_map(|&(_, wp)| [(wp, Transform::Orig), (wp, Transform::GcdPad)])
+        .collect();
+    let rates = pool.map(&points, |&(write_policy, t)| {
         let l1 = CacheConfig {
-            write_policy: wp,
+            write_policy,
             ..CacheConfig::ULTRASPARC2_L1
         };
-        println!(
-            "{name:>14}{:>10.2}{:>10.2}",
-            simulate(Kernel::Jacobi, n, nk, Transform::Orig, l1),
-            simulate(Kernel::Jacobi, n, nk, Transform::GcdPad, l1)
-        );
+        simulate(Kernel::Jacobi, n, nk, t, l1)
+    });
+    for (r, (name, _)) in POLICIES.iter().enumerate() {
+        println!("{name:>14}{:>10.2}{:>10.2}", rates[2 * r], rates[2 * r + 1]);
     }
     println!("(the paper assumes write-around: stores to A never evict B's tile)");
 }
 
-fn atd_sweep(n: usize, nk: usize) {
+fn atd_sweep(n: usize, nk: usize, pool: &SimPool) {
     println!("array-tile-depth sensitivity (JACOBI, N={n}): simulated L1 miss rate");
     println!("when the tiled nest keeps TK planes in cache via a TK-deep GcdPad tile.");
     println!("{:>4}{:>10}{:>14}", "TK", "tile", "L1 miss %");
     let c = 2048usize;
-    for tk in [2usize, 4, 8, 16] {
+    let tks = [2usize, 4, 8, 16];
+    let rows = pool.map(&tks, |&tk| {
         // A GcdPad-style power-of-two tile at depth tk.
         let mut ti = 1usize;
         while ti * ti < c / tk {
@@ -102,19 +124,23 @@ fn atd_sweep(n: usize, nk: usize) {
         }
         let tj = c / (tk * ti);
         if tj < 3 {
-            println!("{tk:>4}{:>10}{:>14}", "-", "tile too small");
-            continue;
+            return None;
         }
         // Pad per GcdPad so the tile is conflict-free.
         let pad = |d: usize, t: usize| 2 * t * ((d + 3 * t - 1) / (2 * t)) - t;
         let (di, dj) = (pad(n, ti), pad(n, tj));
         let mut h = Hierarchy::ultrasparc2();
         Kernel::Jacobi.trace(n, nk, di, dj, Some((ti - 2, tj - 2)), &mut h);
-        println!(
-            "{tk:>4}{:>10}{:>14.2}",
-            format!("{}x{}", ti - 2, tj - 2),
-            h.l1_miss_rate_pct()
-        );
+        Some((ti, tj, h.l1_miss_rate_pct()))
+    });
+    for (&tk, row) in tks.iter().zip(&rows) {
+        match row {
+            None => println!("{tk:>4}{:>10}{:>14}", "-", "tile too small"),
+            Some((ti, tj, rate)) => println!(
+                "{tk:>4}{:>10}{rate:>14.2}",
+                format!("{}x{}", ti - 2, tj - 2)
+            ),
+        }
     }
     println!("(TK=4 — the paper's GcdPad default — balances depth against tile area)");
 }
@@ -148,7 +174,7 @@ fn thread_sweep(n: usize, nk: usize) {
     }
 }
 
-fn crossinterf_sweep(n: usize) {
+fn crossinterf_sweep(n: usize, pool: &SimPool) {
     use tiling3d_stencil::kernels::ArrayLayout;
     println!("cross-interference ablation (RESID, N={n}): L1 miss rate under GcdPad");
     println!("with consecutive vs inter-variable-padded (Section 3.5) array layouts.");
@@ -163,30 +189,36 @@ fn crossinterf_sweep(n: usize) {
         n,
         &kernel.shape(),
     );
-    for nk in [16usize, 24, 30, 32] {
-        let mut row = format!("{nk:>6}");
-        for layout in [
-            ArrayLayout::Consecutive,
-            ArrayLayout::Staggered {
-                cache_bytes: 16 * 1024,
-                line_bytes: 32,
-            },
-        ] {
-            let mut h = Hierarchy::ultrasparc2();
-            kernel.trace_with_layout(n, nk, p.padded_di, p.padded_dj, p.tile, layout, &mut h);
-            row += &format!("{:>14.2}", h.l1_miss_rate_pct());
-        }
-        println!("{row}");
+    let layouts = [
+        ArrayLayout::Consecutive,
+        ArrayLayout::Staggered {
+            cache_bytes: 16 * 1024,
+            line_bytes: 32,
+        },
+    ];
+    let nks = [16usize, 24, 30, 32];
+    let points: Vec<(usize, ArrayLayout)> = nks
+        .iter()
+        .flat_map(|&nk| layouts.iter().map(move |&l| (nk, l)))
+        .collect();
+    let rates = pool.map(&points, |&(nk, layout)| {
+        let mut h = Hierarchy::ultrasparc2();
+        kernel.trace_with_layout(n, nk, p.padded_di, p.padded_dj, p.tile, layout, &mut h);
+        h.l1_miss_rate_pct()
+    });
+    for (r, nk) in nks.iter().enumerate() {
+        println!("{nk:>6}{:>14.2}{:>14.2}", rates[2 * r], rates[2 * r + 1]);
     }
 }
 
-fn tlb_sweep(n: usize, nk: usize) {
+fn tlb_sweep(n: usize, nk: usize, pool: &SimPool) {
     use tiling3d_cachesim::Tlb;
     println!("TLB ablation (JACOBI, N={n}): translation miss rate (64-entry, 8KB pages).");
     println!("Tiling touches N planes per tile pass, stressing the TLB — the");
     println!("cache/TLB trade-off of Mitchell et al. that the paper cites.");
     println!("{:>10}{:>14}{:>14}", "transform", "L1 miss %", "TLB miss %");
-    for t in [Transform::Orig, Transform::GcdPad] {
+    let ts = [Transform::Orig, Transform::GcdPad];
+    let rows = pool.map(&ts, |&t| {
         let p = plan(
             t,
             CacheSpec::ELEMENTS_16K_DOUBLES,
@@ -198,16 +230,14 @@ fn tlb_sweep(n: usize, nk: usize) {
         Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
         let mut tlb = Tlb::ultrasparc2();
         Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut tlb);
-        println!(
-            "{:>10}{:>14.2}{:>14.2}",
-            t.name(),
-            h.l1_miss_rate_pct(),
-            tlb.stats().miss_rate_pct()
-        );
+        (h.l1_miss_rate_pct(), tlb.stats().miss_rate_pct())
+    });
+    for (&t, &(l1, tlb)) in ts.iter().zip(&rows) {
+        println!("{:>10}{l1:>14.2}{tlb:>14.2}", t.name());
     }
 }
 
-fn copyopt_sweep(n: usize, nk: usize) {
+fn copyopt_sweep(n: usize, nk: usize, pool: &SimPool) {
     use tiling3d_stencil::copyopt;
     println!("copy-optimization ablation (JACOBI, N={n}): Section 3.1's negative result.");
     let p = plan(
@@ -218,18 +248,24 @@ fn copyopt_sweep(n: usize, nk: usize) {
         &Kernel::Jacobi.shape(),
     );
     let (ti, tj) = p.tile.unwrap();
-    let mut plain = Hierarchy::ultrasparc2();
-    Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut plain);
-    let mut copying = Hierarchy::ultrasparc2();
-    copyopt::trace_tiled_copying(
-        n,
-        n,
-        nk,
-        p.padded_di,
-        p.padded_dj,
-        TileDims::new(ti, tj),
-        &mut copying,
-    );
+    let hs = pool.map(&[false, true], |&with_copy| {
+        let mut h = Hierarchy::ultrasparc2();
+        if with_copy {
+            copyopt::trace_tiled_copying(
+                n,
+                n,
+                nk,
+                p.padded_di,
+                p.padded_dj,
+                TileDims::new(ti, tj),
+                &mut h,
+            );
+        } else {
+            Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+        }
+        h
+    });
+    let (plain, copying) = (&hs[0], &hs[1]);
     let (pa, ca) = (plain.l1_stats(), copying.l1_stats());
     println!(
         "  tiled (GcdPad):        {:>10} accesses, {:>9} L1 misses ({:.2}%)",
@@ -249,35 +285,42 @@ fn copyopt_sweep(n: usize, nk: usize) {
     );
 }
 
-fn effcache_sweep(n: usize, nk: usize) {
+fn effcache_sweep(n: usize, nk: usize, pool: &SimPool) {
     use tiling3d_core::effective_cache_tile;
     println!("effective-cache-size ablation (JACOBI, N={n}): the Section 3.2 method");
     println!("targets ~10% of the cache; compare its miss rate against GcdPad's.");
     println!("{:>12}{:>12}{:>12}", "method", "tile", "L1 miss %");
     let shape = Kernel::Jacobi.shape();
     let eff = effective_cache_tile(CacheSpec::ELEMENTS_16K_DOUBLES, &shape, 0.10).unwrap();
-    let mut h = Hierarchy::ultrasparc2();
-    Kernel::Jacobi.trace(n, nk, n, n, Some(eff), &mut h);
-    println!(
-        "{:>12}{:>12}{:>12.2}",
-        "effcache",
-        format!("{}x{}", eff.0, eff.1),
-        h.l1_miss_rate_pct()
-    );
-    for t in [Transform::GcdPad, Transform::Orig] {
-        let p = plan(t, CacheSpec::ELEMENTS_16K_DOUBLES, n, n, &shape);
+    let methods = [None, Some(Transform::GcdPad), Some(Transform::Orig)];
+    let rows = pool.map(&methods, |&m| {
         let mut h = Hierarchy::ultrasparc2();
-        Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
-        println!(
-            "{:>12}{:>12}{:>12.2}",
-            t.name(),
-            p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
-            h.l1_miss_rate_pct()
-        );
+        match m {
+            None => {
+                Kernel::Jacobi.trace(n, nk, n, n, Some(eff), &mut h);
+                (
+                    "effcache".to_string(),
+                    format!("{}x{}", eff.0, eff.1),
+                    h.l1_miss_rate_pct(),
+                )
+            }
+            Some(t) => {
+                let p = plan(t, CacheSpec::ELEMENTS_16K_DOUBLES, n, n, &shape);
+                Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+                (
+                    t.name().to_string(),
+                    p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
+                    h.l1_miss_rate_pct(),
+                )
+            }
+        }
+    });
+    for (name, tile, rate) in rows {
+        println!("{name:>12}{tile:>12}{rate:>12.2}");
     }
 }
 
-fn threec_sweep(n: usize, nk: usize) {
+fn threec_sweep(n: usize, nk: usize, pool: &SimPool) {
     use tiling3d_cachesim::ThreeC;
     println!("3C miss classification (JACOBI, N={n}): cold / capacity / conflict as %");
     println!("of accesses on the 16K direct-mapped L1. The paper's algorithms are");
@@ -286,7 +329,7 @@ fn threec_sweep(n: usize, nk: usize) {
         "{:>10}{:>10}{:>10}{:>10}{:>10}",
         "transform", "total", "cold", "capacity", "conflict"
     );
-    for t in Transform::ALL {
+    let rows = pool.map(&Transform::ALL, |&t| {
         let p = plan(
             t,
             CacheSpec::ELEMENTS_16K_DOUBLES,
@@ -296,6 +339,9 @@ fn threec_sweep(n: usize, nk: usize) {
         );
         let mut c = ThreeC::ultrasparc2_l1();
         Kernel::Jacobi.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut c);
+        c
+    });
+    for (&t, c) in Transform::ALL.iter().zip(&rows) {
         let pct = |x: u64| 100.0 * x as f64 / c.accesses as f64;
         println!(
             "{:>10}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
@@ -313,19 +359,20 @@ fn main() {
     let n = cli::flag(&args, "--n", 300usize);
     let nk = cli::flag(&args, "--nk", 30usize);
     let which = cli::positional(&args).unwrap_or_else(|| "assoc".into());
+    let pool = SimPool::new(cli::jobs(&args));
     // Exercise the LRU replacement path so the enum is used meaningfully.
     let _ = ReplacementPolicy::Lru;
     match which.as_str() {
-        "assoc" => assoc_sweep(n, nk),
-        "line" => line_sweep(n, nk),
-        "write" => write_sweep(n, nk),
-        "atd" => atd_sweep(n, nk),
+        "assoc" => assoc_sweep(n, nk, &pool),
+        "line" => line_sweep(n, nk, &pool),
+        "write" => write_sweep(n, nk, &pool),
+        "atd" => atd_sweep(n, nk, &pool),
         "threads" => thread_sweep(n, nk),
-        "crossinterf" => crossinterf_sweep(n),
-        "tlb" => tlb_sweep(n, nk),
-        "copyopt" => copyopt_sweep(n, nk),
-        "effcache" => effcache_sweep(n, nk),
-        "threec" => threec_sweep(n, nk),
+        "crossinterf" => crossinterf_sweep(n, &pool),
+        "tlb" => tlb_sweep(n, nk, &pool),
+        "copyopt" => copyopt_sweep(n, nk, &pool),
+        "effcache" => effcache_sweep(n, nk, &pool),
+        "threec" => threec_sweep(n, nk, &pool),
         other => eprintln!(
             "unknown ablation '{other}': use assoc|line|write|atd|threads|crossinterf|tlb|copyopt|effcache|threec"
         ),

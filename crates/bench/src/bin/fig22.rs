@@ -16,6 +16,7 @@ fn main() {
     let cfg = SweepConfig {
         step: cli::flag(&args, "--step", 8usize),
         nk: cli::flag(&args, "--nk", 30usize),
+        jobs: cli::jobs(&args),
         ..Default::default()
     };
     let csv = cli::switch(&args, "--csv");
@@ -35,7 +36,9 @@ fn main() {
 
     let mut sums = [0.0f64; 4];
     let sizes = cfg.sizes();
-    for &n in &sizes {
+    // Pad searches are independent per N — shard them on the sweep pool
+    // (output order is by-size regardless of --jobs).
+    let per_n = cfg.pool().map(&sizes, |&n| {
         let g = plan_for(&cfg, Kernel::Jacobi, Transform::GcdPad, n);
         let p = plan_for(&cfg, Kernel::Jacobi, Transform::Pad, n);
         // K = 30 (paper's measurement setup): honest padded/original volume
@@ -46,12 +49,14 @@ fn main() {
         let cubic = |di_p: usize, dj_p: usize| {
             100.0 * ((di_p * dj_p - n * n) * cfg.nk) as f64 / (n * n * n) as f64
         };
-        let vals = [
+        [
             memory_overhead_pct(n, n, cfg.nk, g.padded_di, g.padded_dj),
             memory_overhead_pct(n, n, cfg.nk, p.padded_di, p.padded_dj),
             cubic(g.padded_di, g.padded_dj),
             cubic(p.padded_di, p.padded_dj),
-        ];
+        ]
+    });
+    for (&n, vals) in sizes.iter().zip(&per_n) {
         for (s, v) in sums.iter_mut().zip(vals) {
             *s += v;
         }

@@ -22,6 +22,7 @@ fn main() {
         n_max: cli::flag(&args, "--max", 400usize),
         step: cli::flag(&args, "--step", 8usize),
         nk: cli::flag(&args, "--nk", 30usize),
+        jobs: cli::jobs(&args),
         ..Default::default()
     };
     let csv = cli::switch(&args, "--csv");

@@ -24,6 +24,7 @@ fn main() {
         step: cli::flag(&args, "--step", 8usize),
         nk: cli::flag(&args, "--nk", 30usize),
         reps: cli::flag(&args, "--reps", 3usize),
+        jobs: cli::jobs(&args),
         ..Default::default()
     };
     let csv = cli::switch(&args, "--csv");

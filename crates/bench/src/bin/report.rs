@@ -72,6 +72,7 @@ fn main() {
     println!("\nmiss-rate sweeps (N = 200..400 step {step}, NxNx30, UltraSparc2 caches):");
     let cfg = SweepConfig {
         step,
+        jobs: cli::jobs(&args),
         ..Default::default()
     };
     for kernel in Kernel::ALL {

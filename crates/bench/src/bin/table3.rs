@@ -7,9 +7,11 @@
 //! improvement of 2%, not 20%") and percent speed-up for performance.
 //!
 //! ```text
-//! cargo run --release -p tiling3d-bench --bin table3 [-- --step 8 --nk 30 --reps 3 --no-perf]
+//! cargo run --release -p tiling3d-bench --bin table3 [-- --min 200 --max 400 --step 8 --nk 30 --reps 3 --no-perf --jobs N]
 //! ```
-//! `--step 1` reproduces the paper's full resolution (slow).
+//! `--step 1` reproduces the paper's full resolution; combine with
+//! `--jobs $(nproc)` (the default) to shard the simulations across cores.
+//! Miss rates are bit-identical for every `--jobs` value.
 
 use tiling3d_bench::{cli, run_miss_sweeps, run_sweep, Metric, SweepConfig};
 use tiling3d_core::Transform;
@@ -18,9 +20,12 @@ use tiling3d_stencil::kernels::Kernel;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = SweepConfig {
+        n_min: cli::flag(&args, "--min", 200usize),
+        n_max: cli::flag(&args, "--max", 400usize),
         step: cli::flag(&args, "--step", 8usize),
         nk: cli::flag(&args, "--nk", 30usize),
         reps: cli::flag(&args, "--reps", 3usize),
+        jobs: cli::jobs(&args),
         ..Default::default()
     };
     let with_perf = !cli::switch(&args, "--no-perf");

@@ -21,11 +21,14 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod plot;
+pub mod pool;
 
 use std::time::Instant;
 
-use tiling3d_cachesim::{CacheConfig, Hierarchy};
+pub use pool::SimPool;
+use tiling3d_cachesim::{CacheConfig, Hierarchy, Throughput, ThroughputTimer};
 use tiling3d_core::{plan, CacheSpec, Transform, TransformPlan};
 use tiling3d_stencil::kernels::Kernel;
 
@@ -47,6 +50,10 @@ pub struct SweepConfig {
     pub l2: CacheConfig,
     /// Timed repetitions per configuration for MFlops measurement.
     pub reps: usize,
+    /// Simulation worker count (`0` = one per available core). Results are
+    /// bit-identical for every value — see DESIGN.md. Wall-clock MFlops
+    /// measurement always runs sequentially regardless.
+    pub jobs: usize,
 }
 
 impl Default for SweepConfig {
@@ -59,6 +66,7 @@ impl Default for SweepConfig {
             l1: CacheConfig::ULTRASPARC2_L1,
             l2: CacheConfig::ULTRASPARC2_L2,
             reps: 3,
+            jobs: 0,
         }
     }
 }
@@ -74,6 +82,11 @@ impl SweepConfig {
     /// Tile-selection cache spec derived from the L1 geometry.
     pub fn cache_spec(&self) -> CacheSpec {
         CacheSpec::from_bytes(self.l1.size_bytes)
+    }
+
+    /// The worker pool this sweep's simulations run on.
+    pub fn pool(&self) -> SimPool {
+        SimPool::new(self.jobs)
     }
 }
 
@@ -91,6 +104,8 @@ pub struct SimPoint {
     pub l2_pct: f64,
     /// Model-derived MFlops (see [`modeled_mflops`]).
     pub modeled: f64,
+    /// Engine throughput while simulating this point.
+    pub sim: Throughput,
 }
 
 /// Simulates one kernel sweep under the given transformation, returning
@@ -98,13 +113,60 @@ pub struct SimPoint {
 pub fn simulate(cfg: &SweepConfig, kernel: Kernel, t: Transform, n: usize) -> SimPoint {
     let p = plan_for(cfg, kernel, t, n);
     let mut h = Hierarchy::new(cfg.l1, cfg.l2);
+    let timer = ThroughputTimer::start();
     kernel.trace(n, cfg.nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+    let sim = timer.stop(h.l1_stats().accesses);
     let cycles = h.l1_stats().accesses + 10 * h.l1_stats().misses + 60 * h.l2_stats().misses;
     SimPoint {
         l1_pct: h.l1_miss_rate_pct(),
         l2_pct: h.l2_miss_rate_pct(),
         modeled: kernel.sweep_flops(n, cfg.nk) as f64 * 360.0 / cycles as f64,
+        sim,
     }
+}
+
+/// Simulates every `(n, transform)` point of a sweep on the configured
+/// worker pool, returning one row of [`SimPoint`]s per size (in size
+/// order, transforms in column order) plus the aggregate engine
+/// throughput. All pooled sweeps funnel through here; results are
+/// bit-identical for any `cfg.jobs`.
+pub fn simulate_grid(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    transforms: &[Transform],
+) -> (Vec<(usize, Vec<SimPoint>)>, Throughput) {
+    let sizes = cfg.sizes();
+    let points: Vec<(usize, Transform)> = sizes
+        .iter()
+        .flat_map(|&n| transforms.iter().map(move |&t| (n, t)))
+        .collect();
+    let pool = cfg.pool();
+    let total = points.len();
+    let flat = pool.map_with_progress(
+        &points,
+        |&(n, t)| simulate(cfg, kernel, t, n),
+        |done| {
+            eprint!(
+                "\r  {} simulate [{} jobs] {done}/{total}   ",
+                kernel.name(),
+                pool.jobs()
+            )
+        },
+    );
+    if total > 0 {
+        eprintln!();
+    }
+    let mut tp = Throughput::default();
+    for p in &flat {
+        tp.merge(&p.sim);
+    }
+    let cols = transforms.len();
+    let rows = sizes
+        .iter()
+        .enumerate()
+        .map(|(r, &n)| (n, flat[r * cols..(r + 1) * cols].to_vec()))
+        .collect();
+    (rows, tp)
 }
 
 /// L1 and L2 miss rates only (compatibility helper).
@@ -233,21 +295,36 @@ pub fn run_sweep(
         Metric::MFlops => "MFlops",
         Metric::ModeledMFlops => "MFlops (modeled)",
     };
-    let mut rows = Vec::new();
-    for n in cfg.sizes() {
-        eprint!("\r  {} {} N={n}   ", kernel.name(), name);
-        let vals = transforms
-            .iter()
-            .map(|&t| match metric {
-                Metric::L1MissRate => simulate_misses(cfg, kernel, t, n).0,
-                Metric::L2MissRate => simulate_misses(cfg, kernel, t, n).1,
-                Metric::MFlops => measure_mflops(cfg, kernel, t, n),
-                Metric::ModeledMFlops => modeled_mflops(cfg, kernel, t, n),
+    let rows = if metric == Metric::MFlops {
+        // Wall-clock measurement: always sequential so concurrent workers
+        // can't perturb the timings.
+        let mut rows = Vec::new();
+        for n in cfg.sizes() {
+            eprint!("\r  {} {} N={n}   ", kernel.name(), name);
+            let vals = transforms
+                .iter()
+                .map(|&t| measure_mflops(cfg, kernel, t, n))
+                .collect();
+            rows.push((n, vals));
+        }
+        eprintln!();
+        rows
+    } else {
+        let (grid, _) = simulate_grid(cfg, kernel, transforms);
+        grid.into_iter()
+            .map(|(n, pts)| {
+                let vals = pts
+                    .iter()
+                    .map(|p| match metric {
+                        Metric::L1MissRate => p.l1_pct,
+                        Metric::L2MissRate => p.l2_pct,
+                        _ => p.modeled,
+                    })
+                    .collect();
+                (n, vals)
             })
-            .collect();
-        rows.push((n, vals));
-    }
-    eprintln!();
+            .collect()
+    };
     SweepResult {
         metric: name,
         transforms: transforms.to_vec(),
@@ -262,25 +339,16 @@ pub fn run_miss_sweeps(
     kernel: Kernel,
     transforms: &[Transform],
 ) -> (SweepResult, SweepResult, SweepResult) {
+    let (grid, tp) = simulate_grid(cfg, kernel, transforms);
+    eprintln!("  engine: {}", tp.summary());
     let mut rows1 = Vec::new();
     let mut rows2 = Vec::new();
     let mut rows3 = Vec::new();
-    for n in cfg.sizes() {
-        eprint!("\r  {} miss rates N={n}   ", kernel.name());
-        let mut v1 = Vec::with_capacity(transforms.len());
-        let mut v2 = Vec::with_capacity(transforms.len());
-        let mut v3 = Vec::with_capacity(transforms.len());
-        for &t in transforms {
-            let p = simulate(cfg, kernel, t, n);
-            v1.push(p.l1_pct);
-            v2.push(p.l2_pct);
-            v3.push(p.modeled);
-        }
-        rows1.push((n, v1));
-        rows2.push((n, v2));
-        rows3.push((n, v3));
+    for (n, pts) in grid {
+        rows1.push((n, pts.iter().map(|p| p.l1_pct).collect()));
+        rows2.push((n, pts.iter().map(|p| p.l2_pct).collect()));
+        rows3.push((n, pts.iter().map(|p| p.modeled).collect()));
     }
-    eprintln!();
     (
         SweepResult {
             metric: "L1 miss %",
@@ -315,6 +383,12 @@ pub mod cli {
     /// True when the bare switch `--key` is present.
     pub fn switch(args: &[String], key: &str) -> bool {
         args.iter().any(|a| a == key)
+    }
+
+    /// Parses `--jobs N`; `0` (or an absent flag) means one simulation
+    /// worker per available core.
+    pub fn jobs(args: &[String]) -> usize {
+        flag(args, "--jobs", 0usize)
     }
 
     /// First positional (non-flag) argument, lowercased.

@@ -1,0 +1,162 @@
+//! `SimPool` — a scoped worker pool for embarrassingly parallel simulation
+//! sweeps.
+//!
+//! Every paper artifact is a sweep over independent `(N, kernel,
+//! algorithm)` points, each replaying a full address trace through its own
+//! [`tiling3d_cachesim::Hierarchy`]. The points share nothing, so the pool
+//! shards them across OS threads (`std::thread::scope`, no external
+//! dependencies) with **deterministic result ordering**: results come back
+//! indexed by input position, so a sweep's output — and therefore every
+//! table and figure — is bit-identical for any worker count. DESIGN.md
+//! ("Parallel simulation engine") records the invariants.
+//!
+//! Work distribution is dynamic (an atomic next-item counter), which keeps
+//! the pool balanced even though large-`N` points cost ~10x small ones.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Worker pool for sharded simulation sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPool {
+    jobs: usize,
+}
+
+impl SimPool {
+    /// Creates a pool with `jobs` workers; `0` means one worker per
+    /// available core (the drivers' `--jobs` default).
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        SimPool { jobs }
+    }
+
+    /// A single-worker pool (sequential execution on the caller's thread).
+    pub fn sequential() -> Self {
+        SimPool { jobs: 1 }
+    }
+
+    /// Number of workers this pool will spawn.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item and returns the results **in item order**,
+    /// regardless of which worker computed what or when it finished.
+    ///
+    /// With one worker (or one item) this runs inline on the caller's
+    /// thread — no spawn, identical to a plain `map`. Panics in `f` are
+    /// propagated.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.jobs <= 1 || n <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker completed every claimed item")
+            })
+            .collect()
+    }
+
+    /// Like [`SimPool::map`] but also invokes `progress(done)` after each
+    /// item completes (from worker threads; keep it cheap and re-entrant —
+    /// the drivers use it for `\r`-style stderr tickers).
+    pub fn map_with_progress<T, R, F, P>(&self, items: &[T], f: F, progress: P) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        P: Fn(usize) + Sync,
+    {
+        let done = AtomicUsize::new(0);
+        self.map(items, |item| {
+            let r = f(item);
+            progress(done.fetch_add(1, Ordering::Relaxed) + 1);
+            r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert!(SimPool::new(0).jobs() >= 1);
+        assert_eq!(SimPool::new(3).jobs(), 3);
+        assert_eq!(SimPool::sequential().jobs(), 1);
+    }
+
+    #[test]
+    fn map_preserves_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1usize, 2, 3, 8, 64] {
+            let got = SimPool::new(jobs).map(&items, |&x| {
+                // Uneven per-item work to scramble completion order.
+                let spin = (x % 7) * 500;
+                let mut acc = 0u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                std::hint::black_box(acc);
+                x * x
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_maps() {
+        let pool = SimPool::new(4);
+        assert_eq!(pool.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(pool.map(&[42], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn progress_reports_every_item() {
+        let count = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..50).collect();
+        SimPool::new(4).map_with_progress(
+            &items,
+            |&x| x,
+            |done| {
+                count.fetch_add(1, Ordering::Relaxed);
+                max_seen.fetch_max(done, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 50);
+    }
+}

@@ -99,19 +99,60 @@ impl Hierarchy {
     }
 }
 
+impl Hierarchy {
+    /// L1-miss refill path, out of line: most reads hit L1, so keeping the
+    /// L2 lookup behind a call leaves callers with just the compact L1
+    /// probe to inline.
+    #[inline(never)]
+    fn l2_read_fill(&mut self, addr: u64) {
+        self.l2.access(addr, false);
+    }
+}
+
 impl AccessSink for Hierarchy {
     #[inline]
     fn read(&mut self, addr: u64) {
         if self.l1.access(addr, false) {
-            self.l2.access(addr, false);
+            self.l2_read_fill(addr);
         }
     }
 
-    #[inline]
+    /// Out of line: stencil traces write once per point (1 in 7–29
+    /// accesses), and the write-through L2 update would double the inlined
+    /// footprint of every trace loop for that rare case.
+    #[inline(never)]
     fn write(&mut self, addr: u64) {
         self.l1.access(addr, true);
         // Write-through: L2 always observes the store.
         self.l2.access(addr, true);
+    }
+
+    #[inline]
+    fn read_run(&mut self, addr: u64, stride: i64, n: usize) {
+        // Segment by L1 lines with a division-free same-line loop (any
+        // stride): within one line only the first access can miss (and
+        // reach L2, at that exact address — matching the per-access
+        // expansion); the rest are L1 hits recorded in bulk.
+        let shift = self.l1.line_bytes().trailing_zeros();
+        let mut a = addr;
+        let mut rem = n;
+        while rem > 0 {
+            if self.l1.access(a, false) {
+                self.l2_read_fill(a);
+            }
+            let line = a >> shift;
+            rem -= 1;
+            a = a.wrapping_add(stride as u64);
+            let mut hits = 0u64;
+            while rem > 0 && a >> shift == line {
+                hits += 1;
+                rem -= 1;
+                a = a.wrapping_add(stride as u64);
+            }
+            if hits > 0 {
+                self.l1.record_line_read_hits(hits);
+            }
+        }
     }
 }
 

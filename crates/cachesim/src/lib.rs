@@ -49,6 +49,6 @@ pub use cache::Cache;
 pub use config::{CacheConfig, ReplacementPolicy, WritePolicy};
 pub use hierarchy::{simulate_ultrasparc2, Hierarchy};
 pub use sinks::{AccessSink, CountingSink, DistinctLineCounter, TeeSink};
-pub use stats::AccessStats;
+pub use stats::{AccessStats, Throughput, ThroughputTimer};
 pub use threec::ThreeC;
 pub use tlb::Tlb;

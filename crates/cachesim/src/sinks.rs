@@ -12,6 +12,32 @@ pub trait AccessSink {
     fn read(&mut self, addr: u64);
     /// One store to the datum at byte address `addr`.
     fn write(&mut self, addr: u64);
+
+    /// A batched run of `n` loads at `addr, addr + stride, ...` (byte
+    /// stride, which may be negative for descending runs).
+    ///
+    /// Semantically **exactly equivalent** to
+    ///
+    /// ```ignore
+    /// for i in 0..n {
+    ///     self.read(addr.wrapping_add((i as i64).wrapping_mul(stride) as u64));
+    /// }
+    /// ```
+    ///
+    /// but overridable so sinks can process a run in bulk: [`crate::Cache`]
+    /// and [`crate::Hierarchy`] probe each touched cache line once and
+    /// record the remaining accesses as guaranteed hits, and the counting
+    /// sinks bump their counters arithmetically. Implementations must keep
+    /// reported counts bit-identical to the per-access expansion — the
+    /// golden-equivalence suite enforces this.
+    #[inline]
+    fn read_run(&mut self, addr: u64, stride: i64, n: usize) {
+        let mut a = addr;
+        for _ in 0..n {
+            self.read(a);
+            a = a.wrapping_add(stride as u64);
+        }
+    }
 }
 
 /// Counts reads and writes without simulating anything.
@@ -32,6 +58,11 @@ impl AccessSink for CountingSink {
     #[inline]
     fn write(&mut self, _addr: u64) {
         self.writes += 1;
+    }
+
+    #[inline]
+    fn read_run(&mut self, _addr: u64, _stride: i64, n: usize) {
+        self.reads += n as u64;
     }
 }
 
@@ -75,6 +106,28 @@ impl AccessSink for DistinctLineCounter {
         self.accesses += 1;
         self.seen.insert(addr >> self.line_shift);
     }
+
+    fn read_run(&mut self, addr: u64, stride: i64, n: usize) {
+        // A run at stride <= line size touches every line between its first
+        // and last access, so one hash insert per line suffices.
+        if n == 0 {
+            return;
+        }
+        if stride <= 0 || stride as u64 > (1u64 << self.line_shift) {
+            let mut a = addr;
+            for _ in 0..n {
+                self.read(a);
+                a = a.wrapping_add(stride as u64);
+            }
+            return;
+        }
+        self.accesses += n as u64;
+        let first = addr >> self.line_shift;
+        let last = (addr + (n as u64 - 1) * stride as u64) >> self.line_shift;
+        for line in first..=last {
+            self.seen.insert(line);
+        }
+    }
 }
 
 /// Feeds one trace to two sinks at once (e.g. a hierarchy and a counter).
@@ -103,6 +156,12 @@ impl<A: AccessSink, B: AccessSink> AccessSink for TeeSink<'_, A, B> {
     fn write(&mut self, addr: u64) {
         self.a.write(addr);
         self.b.write(addr);
+    }
+
+    #[inline]
+    fn read_run(&mut self, addr: u64, stride: i64, n: usize) {
+        self.a.read_run(addr, stride, n);
+        self.b.read_run(addr, stride, n);
     }
 }
 

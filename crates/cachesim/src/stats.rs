@@ -1,4 +1,6 @@
-//! Access counters and miss-rate arithmetic.
+//! Access counters, miss-rate arithmetic, and simulation throughput.
+
+use std::time::{Duration, Instant};
 
 /// Hit/miss counters for one cache level (or one simulated run).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +65,69 @@ impl AccessStats {
             } else {
                 self.read_misses += 1;
             }
+        }
+    }
+}
+
+/// Simulation throughput: accesses replayed against wall time.
+///
+/// The harness accumulates one of these per sweep so every driver can
+/// report how fast the engine is actually running (the quantity the
+/// `cachesim` bench tracks across PRs in `BENCH_cachesim.json`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Throughput {
+    /// Accesses simulated.
+    pub accesses: u64,
+    /// Wall time spent simulating them.
+    pub wall: Duration,
+}
+
+impl Throughput {
+    /// Simulated accesses per second (0 for an empty measurement).
+    pub fn accesses_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.accesses as f64 / s
+        }
+    }
+
+    /// Accumulates another measurement. Wall times add, so merging the
+    /// per-shard measurements of a parallel sweep yields aggregate CPU
+    /// throughput (can exceed single-thread rate × 1).
+    pub fn merge(&mut self, other: &Throughput) {
+        self.accesses += other.accesses;
+        self.wall += other.wall;
+    }
+
+    /// Renders `12.3 Macc/s over 45.6 Maccesses` style summaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.1}M accesses in {:.2}s ({:.1}M acc/s)",
+            self.accesses as f64 / 1e6,
+            self.wall.as_secs_f64(),
+            self.accesses_per_sec() / 1e6,
+        )
+    }
+}
+
+/// Started stopwatch for one simulation; stop it with the access count.
+#[derive(Debug)]
+pub struct ThroughputTimer(Instant);
+
+impl ThroughputTimer {
+    /// Starts timing.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        ThroughputTimer(Instant::now())
+    }
+
+    /// Stops timing and packages the measurement.
+    pub fn stop(self, accesses: u64) -> Throughput {
+        Throughput {
+            accesses,
+            wall: self.0.elapsed(),
         }
     }
 }

@@ -8,14 +8,19 @@
 //! tiling3d plan     --stencil jacobi3d --dims 341x341 [--cache-kb 16] [--line 32]
 //! tiling3d tiles    --di 200 --dj 200 [--cache 2048] [--tkmax 4]
 //! tiling3d advise   --stencil jacobi3d --n 300 [--cache-kb 16]
-//! tiling3d simulate --kernel resid --n 341 [--nk 30] [--transform gcdpad]
+//! tiling3d simulate --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N]
 //! tiling3d predict  --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
 //! ```
+//!
+//! `simulate --transform all` replays every transformation's trace, one
+//! pool worker per transform (`--jobs 0` / default = all cores); the
+//! reported miss rates are identical for any worker count.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
+use tiling3d_bench::SimPool;
 use tiling3d_cachesim::{CacheConfig, Hierarchy};
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
@@ -228,12 +233,18 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
         return Err("simulate requires --n >= 3".into());
     }
     let nk = args.num("--nk", 30)?;
-    let t = args.transform()?;
     let cache = args.cache_spec()?;
-    let p = plan(t, cache, n, n, &kernel.shape());
     let l1 = CacheConfig::direct_mapped(cache.elements * 8, args.num("--line", 32)?);
     l1.validate()
         .map_err(|e| format!("bad cache geometry: {e}"))?;
+    if args
+        .get("--transform")
+        .is_some_and(|t| t.eq_ignore_ascii_case("all"))
+    {
+        return simulate_all(args, kernel, n, nk, cache, l1);
+    }
+    let t = args.transform()?;
+    let p = plan(t, cache, n, n, &kernel.shape());
     let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
     kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
     Ok(format!(
@@ -249,6 +260,48 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
         h.l1_stats().accesses,
         h.l2_miss_rate_pct(),
     ))
+}
+
+/// `simulate --transform all`: every transformation's trace, sharded one
+/// per pool worker. Transform order (and therefore output) is fixed;
+/// worker count only changes wall time.
+fn simulate_all(
+    args: &Args,
+    kernel: Kernel,
+    n: usize,
+    nk: usize,
+    cache: CacheSpec,
+    l1: CacheConfig,
+) -> Result<String, String> {
+    let pool = SimPool::new(args.num("--jobs", 0)?);
+    let rows = pool.map(&Transform::ALL, |&t| {
+        let p = plan(t, cache, n, n, &kernel.shape());
+        let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
+        kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+        (p, h)
+    });
+    let mut out = format!(
+        "{} {n}x{n}x{nk}, all transforms ({} workers):\n{:<10}{:>10}{:>14}{:>12}{:>12}\n",
+        kernel.name(),
+        pool.jobs(),
+        "transform",
+        "tile",
+        "padded dims",
+        "L1 miss %",
+        "L2 miss %"
+    );
+    for (&t, (p, h)) in Transform::ALL.iter().zip(&rows) {
+        let _ = writeln!(
+            out,
+            "{:<10}{:>10}{:>14}{:>12.2}{:>12.2}",
+            t.name(),
+            p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
+            format!("{}x{}", p.padded_di, p.padded_dj),
+            h.l1_miss_rate_pct(),
+            h.l2_miss_rate_pct(),
+        );
+    }
+    Ok(out)
 }
 
 fn cmd_predict(args: &Args) -> Result<String, String> {
@@ -326,6 +379,21 @@ mod tests {
         let out = run_line("simulate --kernel jacobi --n 64 --nk 8 --transform gcdpad").unwrap();
         assert!(out.contains("L1 miss rate"));
         assert!(out.contains("GcdPad"));
+    }
+
+    #[test]
+    fn simulate_all_is_jobs_invariant() {
+        let seq = run_line("simulate --kernel jacobi --n 48 --nk 6 --transform all --jobs 1");
+        let par = run_line("simulate --kernel jacobi --n 48 --nk 6 --transform all --jobs 4");
+        let strip = |s: &str| {
+            // Drop the header line (worker count differs by construction).
+            s.lines().skip(1).collect::<Vec<_>>().join("\n")
+        };
+        let (seq, par) = (seq.unwrap(), par.unwrap());
+        assert_eq!(strip(&seq), strip(&par));
+        for name in ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"] {
+            assert!(seq.contains(name), "missing {name} in:\n{seq}");
+        }
     }
 
     #[test]

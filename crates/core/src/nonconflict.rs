@@ -353,9 +353,9 @@ mod tests {
     }
 
     #[test]
-    fn proptest_enumeration_matches_bruteforce() {
-        // Deterministic pseudo-random sweep (kept dependency-light here;
-        // the heavier proptest suite lives in tests/).
+    fn enumeration_matches_bruteforce() {
+        // Deterministic pseudo-random sweep (the broader invariant suite
+        // lives in tests/invariants.rs).
         let mut seed = 0x12345678u64;
         let mut next = move || {
             seed ^= seed << 13;

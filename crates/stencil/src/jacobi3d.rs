@@ -100,8 +100,9 @@ pub fn trace_at<S: AccessSink>(
     let body = |i: usize, j: usize, k: usize| {
         let idx = (i + j * di + k * ps) as u64;
         let b = |off: i64| b_base.wrapping_add((idx as i64 + off) as u64 * 8);
-        sink.read(b(-1));
-        sink.read(b(1));
+        // B(i-1) then B(i+1): an in-order +16-byte run, batched so the
+        // cache probes their (usually shared) line once.
+        sink.read_run(b(-1), 16, 2);
         sink.read(b(-(di as i64)));
         sink.read(b(di as i64));
         sink.read(b(-(ps as i64)));

@@ -164,8 +164,8 @@ pub fn trace<S: AccessSink>(
     let mut body = |i: usize, j: usize, k: usize| {
         let idx = (i + j * di + k * ps) as i64;
         let at = |off: i64| ((idx + off) * 8) as u64;
-        sink.read(at(0));
-        sink.read(at(-1));
+        // A(i) then A(i-1): a descending 2-run in source order.
+        sink.read_run(at(0), -8, 2);
         sink.read(at(-(di as i64)));
         sink.read(at(1));
         sink.read(at(di as i64));

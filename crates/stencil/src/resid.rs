@@ -180,16 +180,32 @@ pub fn trace_at<S: AccessSink>(
     let body = |i: usize, j: usize, k: usize| {
         let idx = (i + j * di + k * ps) as i64;
         let u = |off: i64| u_base + ((idx + off) * 8) as u64;
+        // Same stream as iterating faces()/edges()/corners() in order, with
+        // every in-order U(i-1,·,·), U(i+1,·,·) pair batched as a +16-byte
+        // run (the pairs usually share a cache line).
         sink.read(u(0));
-        for o in faces(dii, psi) {
-            sink.read(u(o));
-        }
-        for o in edges(dii, psi) {
-            sink.read(u(o));
-        }
-        for o in corners(dii, psi) {
-            sink.read(u(o));
-        }
+        // faces: -1, 1, -di, di, -ps, ps
+        sink.read_run(u(-1), 16, 2);
+        sink.read(u(-dii));
+        sink.read(u(dii));
+        sink.read(u(-psi));
+        sink.read(u(psi));
+        // edges: (-1,1)∓di, then the di/ps edges, then (-1,1)∓ps singles
+        sink.read_run(u(-1 - dii), 16, 2);
+        sink.read_run(u(-1 + dii), 16, 2);
+        sink.read(u(-dii - psi));
+        sink.read(u(dii - psi));
+        sink.read(u(-dii + psi));
+        sink.read(u(dii + psi));
+        sink.read(u(-1 - psi));
+        sink.read(u(-1 + psi));
+        sink.read(u(1 - psi));
+        sink.read(u(1 + psi));
+        // corners: four (-1,1) pairs across the ∓di, ∓ps combinations
+        sink.read_run(u(-1 - dii - psi), 16, 2);
+        sink.read_run(u(-1 + dii - psi), 16, 2);
+        sink.read_run(u(-1 - dii + psi), 16, 2);
+        sink.read_run(u(-1 + dii + psi), 16, 2);
         sink.read(v_base + (idx * 8) as u64);
         sink.write(r_base + (idx * 8) as u64);
     };
@@ -293,6 +309,48 @@ mod tests {
             );
             assert!(r1.logical_eq(&r2), "n={n} tile=({ti},{tj})");
         }
+    }
+
+    #[test]
+    fn trace_emission_order_matches_offset_tables() {
+        // The hand-batched body must replay byte-for-byte the stream the
+        // offset-table loops produced before runs were introduced.
+        struct Collect(Vec<(bool, u64)>);
+        impl AccessSink for Collect {
+            fn read(&mut self, a: u64) {
+                self.0.push((false, a));
+            }
+            fn write(&mut self, a: u64) {
+                self.0.push((true, a));
+            }
+        }
+        let (n, di, dj) = (7usize, 9usize, 8usize);
+        let mut got = Collect(Vec::new());
+        trace(n, n, n, di, dj, None, &mut got);
+
+        let ps = di * dj;
+        let bytes = (di * dj * n * 8) as u64;
+        let (dii, psi) = (di as i64, ps as i64);
+        let mut want = Vec::new();
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let idx = (i + j * di + k * ps) as i64;
+                    let u = |off: i64| bytes + ((idx + off) * 8) as u64;
+                    want.push((false, u(0)));
+                    for o in faces(dii, psi)
+                        .iter()
+                        .chain(&edges(dii, psi))
+                        .chain(&corners(dii, psi))
+                    {
+                        want.push((false, u(*o)));
+                    }
+                    want.push((false, 2 * bytes + (idx * 8) as u64));
+                    want.push((true, (idx * 8) as u64));
+                }
+            }
+        }
+        assert_eq!(got.0, want);
     }
 
     #[test]
