@@ -135,7 +135,7 @@ fn speedup(results: &[Measurement], slow: &str, fast: &str) -> Option<(String, f
         results
             .iter()
             .find(|m| m.name == name)
-            .and_then(|m| m.per_sec())
+            .and_then(tiling3d_bench::microbench::Measurement::per_sec)
     };
     let key = fast
         .trim_start_matches("trace_sim/fast/")

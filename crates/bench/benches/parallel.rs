@@ -20,7 +20,7 @@ fn main() {
     let flops = jacobi3d::sweep_flops(n, n, nk);
 
     let max_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
+        .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     for threads in [1usize, 2, 4] {
         if threads > max_threads.max(1) * 2 {
@@ -41,7 +41,7 @@ fn main() {
                     1.0 / 6.0,
                     Some(TileDims::new(30, 14)),
                     threads,
-                )
+                );
             },
         );
     }

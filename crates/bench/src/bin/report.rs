@@ -16,7 +16,7 @@ use tiling3d_core::{euc3d, gcd_pad, memory_overhead_pct, plan, CacheSpec, Transf
 use tiling3d_loopnest::{reuse, StencilShape};
 use tiling3d_stencil::kernels::Kernel;
 
-fn check(name: &str, ok: bool, detail: String) {
+fn check(name: &str, ok: bool, detail: &str) {
     println!(
         "  [{}] {:<44} {}",
         if ok { "ok" } else { "!!" },
@@ -37,25 +37,25 @@ fn main() {
         let t1 = [(1, 1, 2048), (1, 10, 200), (3, 15, 24), (4, 56, 8)]
             .iter()
             .all(|&(tk, tj, ti)| tiles.iter().any(|t| (t.tk, t.tj, t.ti) == (tk, tj, ti)));
-        check("Table 1 spot entries", t1, "200x200xM, 16K cache".into());
+        check("Table 1 spot entries", t1, "200x200xM, 16K cache");
 
         let sel = euc3d(cache, 200, 200, &StencilShape::jacobi3d());
         check(
             "Euc3D worked example (22,13)",
             sel.iter_tile == (22, 13),
-            format!("got {:?}", sel.iter_tile),
+            &format!("got {:?}", sel.iter_tile),
         );
         let sel341 = euc3d(cache, 341, 341, &StencilShape::jacobi3d());
         check(
             "Euc3D pathological 341 -> (110,4)",
             sel341.iter_tile == (110, 4),
-            format!("got {:?}", sel341.iter_tile),
+            &format!("got {:?}", sel341.iter_tile),
         );
         let g = gcd_pad(cache, 200, 200, &StencilShape::jacobi3d());
         check(
             "GcdPad tile (32,16,4)",
             (g.array_tile.ti, g.array_tile.tj, g.array_tile.tk) == (32, 16, 4),
-            format!("pads +{}/+{}", g.di_p - 200, g.dj_p - 200),
+            &format!("pads +{}/+{}", g.di_p - 200, g.dj_p - 200),
         );
         let b = (
             reuse::max_column_extent_2d(2048, &StencilShape::jacobi2d()),
@@ -65,7 +65,7 @@ fn main() {
         check(
             "capacity boundaries 1024/32/362",
             b == (1024, 32, 362),
-            format!("{b:?}"),
+            &format!("{b:?}"),
         );
     }
 
@@ -87,7 +87,7 @@ fn main() {
                 kernel.name()
             ),
             best_padded < best_unpadded && best_padded < m[0],
-            format!(
+            &format!(
                 "L1 {:.1}->{:.1}%, modeled perf +{:.0}%",
                 m[0],
                 best_padded,
@@ -108,7 +108,7 @@ fn main() {
         check(
             "padding eliminates conflict misses",
             orig > 20.0 && gcd < 1.0,
-            format!("conflict component {orig:.1}% -> {gcd:.2}%"),
+            &format!("conflict component {orig:.1}% -> {gcd:.2}%"),
         );
     }
 
@@ -127,7 +127,7 @@ fn main() {
         check(
             "GcdPad ~14.7%, Pad ~4.7% (paper)",
             p < g && g < 25.0,
-            format!("measured GcdPad {g:.1}%, Pad {p:.1}%"),
+            &format!("measured GcdPad {g:.1}%, Pad {p:.1}%"),
         );
     }
 

@@ -29,7 +29,7 @@ use std::time::Instant;
 
 pub use pool::SimPool;
 use tiling3d_cachesim::{CacheConfig, Hierarchy, Throughput, ThroughputTimer};
-use tiling3d_core::{plan, CacheSpec, Transform, TransformPlan};
+use tiling3d_core::{CacheSpec, Transform, TransformPlan};
 use tiling3d_stencil::kernels::Kernel;
 
 /// Simulation / measurement configuration for one sweep.
@@ -90,9 +90,20 @@ impl SweepConfig {
     }
 }
 
-/// Resolves the plan for (kernel, transform, n) under this sweep's cache.
+/// Resolves the plan for (kernel, transform, n) under this sweep's cache,
+/// via the certified path: the transform's schedule is proved legal for
+/// the kernel's dependence set before any trace is generated, so every
+/// number the harness reports comes from a certified schedule.
+///
+/// # Panics
+/// Panics if the schedule is illegal — unreachable for the paper's
+/// transforms, whose executors always run the skewed schedule where one
+/// is required.
 pub fn plan_for(cfg: &SweepConfig, kernel: Kernel, t: Transform, n: usize) -> TransformPlan {
-    plan(t, cfg.cache_spec(), n, n, &kernel.shape())
+    let cp = kernel
+        .plan_certified(t, cfg.cache_spec(), n, n)
+        .unwrap_or_else(|e| panic!("refusing to simulate an illegal schedule: {e}"));
+    *cp.plan()
 }
 
 /// One simulated data point.
@@ -150,7 +161,7 @@ pub fn simulate_grid(
                 "\r  {} simulate [{} jobs] {done}/{total}   ",
                 kernel.name(),
                 pool.jobs()
-            )
+            );
         },
     );
     if total > 0 {
@@ -474,7 +485,7 @@ mod tests {
     fn cli_parsing() {
         let args: Vec<String> = ["resid", "--min", "400", "--csv"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         assert_eq!(cli::flag(&args, "--min", 0usize), 400);
         assert_eq!(cli::flag(&args, "--max", 7usize), 7);
@@ -482,7 +493,7 @@ mod tests {
         assert_eq!(cli::kernel(&args), Some(Kernel::Resid));
         let args2: Vec<String> = ["--min", "10", "jacobi"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         assert_eq!(cli::kernel(&args2), Some(Kernel::Jacobi));
     }

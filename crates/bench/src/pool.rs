@@ -29,7 +29,7 @@ impl SimPool {
     pub fn new(jobs: usize) -> Self {
         let jobs = if jobs == 0 {
             thread::available_parallelism()
-                .map(|p| p.get())
+                .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         } else {
             jobs

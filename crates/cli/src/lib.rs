@@ -10,11 +10,19 @@
 //! tiling3d advise   --stencil jacobi3d --n 300 [--cache-kb 16]
 //! tiling3d simulate --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N]
 //! tiling3d predict  --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
+//! tiling3d analyze  --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew]
 //! ```
 //!
 //! `simulate --transform all` replays every transformation's trace, one
 //! pool worker per transform (`--jobs 0` / default = all cores); the
 //! reported miss rates are identical for any worker count.
+//!
+//! `analyze` runs the dependence-based legality analyzer: it prints each
+//! schedule's dependence set, transformation steps and verdict, and exits
+//! non-zero if any analyzed schedule is illegal — `--no-skew` requests the
+//! rectangular (unskewed) tiling of the fused red-black schedule, the
+//! known-illegal case, which the analyzer rejects with the broken distance
+//! vector as witness.
 
 #![warn(missing_docs)]
 
@@ -22,6 +30,7 @@ use std::fmt::Write as _;
 
 use tiling3d_bench::SimPool;
 use tiling3d_cachesim::{CacheConfig, Hierarchy};
+use tiling3d_core::legality::certificate_for;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
 use tiling3d_core::{plan, CacheSpec, Transform};
@@ -50,7 +59,7 @@ impl Args {
             .iter()
             .position(|a| a == key)
             .and_then(|i| self.rest.get(i + 1))
-            .map(|s| s.as_str())
+            .map(String::as_str)
     }
 
     fn num(&self, key: &str, default: usize) -> Result<usize, String> {
@@ -117,13 +126,23 @@ impl Args {
         let kb = self.num("--cache-kb", 16)?;
         Ok(CacheSpec::from_bytes(kb * 1024))
     }
+
+    fn flag(&self, key: &str) -> bool {
+        self.rest.iter().any(|a| a == key)
+    }
 }
+
+/// Every dispatched subcommand, in usage order. [`usage`] and [`run`] are
+/// both derived from this list, so they cannot drift apart.
+pub const COMMANDS: [&str; 6] = ["plan", "tiles", "advise", "simulate", "predict", "analyze"];
 
 /// Usage string (also the error for a missing subcommand).
 pub fn usage() -> String {
-    "usage: tiling3d <plan|tiles|advise|simulate|predict> [--key value ...]\n\
-     see `cargo doc -p tiling3d-cli` for the full flag reference"
-        .to_string()
+    format!(
+        "usage: tiling3d <{}> [--key value ...]\n\
+         see `cargo doc -p tiling3d-cli` for the full flag reference",
+        COMMANDS.join("|")
+    )
 }
 
 /// Dispatches a parsed command.
@@ -134,6 +153,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "advise" => cmd_advise(args),
         "simulate" => cmd_simulate(args),
         "predict" => cmd_predict(args),
+        "analyze" => cmd_analyze(args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
@@ -333,12 +353,68 @@ fn cmd_predict(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `analyze`: the legality analyzer. For each requested transform, plans
+/// it (which decides whether the executed schedule is tiled), certifies
+/// the schedule against the kernel's dependence set, and prints the full
+/// certificate: iteration-space dimensions, dependences, schedule steps,
+/// verdict. Any illegal schedule turns the whole invocation into an `Err`,
+/// so the process exits non-zero — the CI gate relies on this.
+fn cmd_analyze(args: &Args) -> Result<String, String> {
+    let kernel = args.kernel()?;
+    let n = args.num("--n", 200)?;
+    if n < 3 {
+        return Err("analyze requires --n >= 3".into());
+    }
+    let cache = args.cache_spec()?;
+    let skewed = !args.flag("--no-skew");
+    let discipline = kernel.discipline();
+    let transforms: Vec<Transform> = match args.get("--transform") {
+        None => Transform::ALL.to_vec(),
+        Some(t) if t.eq_ignore_ascii_case("all") => Transform::ALL.to_vec(),
+        Some(_) => vec![args.transform()?],
+    };
+    let mut out = format!(
+        "legality analysis: {} (discipline {:?}), {n}x{n} arrays, cache {} doubles\n",
+        kernel.name(),
+        discipline,
+        cache.elements
+    );
+    let mut illegal = Vec::new();
+    for t in transforms {
+        let p = plan(t, cache, n, n, &kernel.shape());
+        let cert = certificate_for(&discipline, p.tile.is_some(), skewed);
+        let _ = writeln!(
+            out,
+            "\n== {} / {} ({}) ==",
+            kernel.name(),
+            t.name(),
+            p.tile
+                .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
+        );
+        out.push_str(&cert.report());
+        if !cert.is_legal() {
+            illegal.push(t.name());
+        }
+    }
+    if illegal.is_empty() {
+        let _ = writeln!(out, "\nall analyzed schedules are legal");
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "\nILLEGAL schedules for: {} — refusing to certify",
+            illegal.join(", ")
+        );
+        Err(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run_line(line: &str) -> Result<String, String> {
-        let raw: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        let raw: Vec<String> = line.split_whitespace().map(ToString::to_string).collect();
         run(&Args::parse(&raw)?)
     }
 
@@ -407,12 +483,69 @@ mod tests {
     #[test]
     fn errors_are_helpful() {
         assert!(run_line("plan").unwrap_err().contains("--dims"));
-        assert!(run_line("bogus").unwrap_err().contains("unknown command"));
+        let unknown = run_line("bogus").unwrap_err();
+        assert!(unknown.contains("unknown command"));
+        assert!(unknown.contains("analyze"), "usage must list analyze");
         assert!(run_line("plan --dims nope --stencil jacobi3d")
             .unwrap_err()
             .contains("AxB"));
         assert!(run_line("simulate --kernel martian --n 50")
             .unwrap_err()
             .contains("unknown kernel"));
+        assert!(run_line("analyze --kernel martian")
+            .unwrap_err()
+            .contains("unknown kernel"));
+    }
+
+    #[test]
+    fn usage_and_dispatch_cannot_drift() {
+        // Every dispatched command appears in usage(), and every COMMANDS
+        // entry actually dispatches (no "unknown command" error).
+        let u = usage();
+        for cmd in COMMANDS {
+            assert!(u.contains(cmd), "usage() is missing '{cmd}'");
+            let raw = vec![cmd.to_string()];
+            let res = run(&Args::parse(&raw).unwrap());
+            if let Err(e) = res {
+                assert!(
+                    !e.contains("unknown command"),
+                    "'{cmd}' is listed in COMMANDS but not dispatched: {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_certifies_every_kernel_transform_pair() {
+        for kernel in ["jacobi", "redblack", "resid"] {
+            let out = run_line(&format!("analyze --kernel {kernel} --transform all"))
+                .unwrap_or_else(|e| panic!("{kernel}: {e}"));
+            assert!(out.contains("all analyzed schedules are legal"), "{out}");
+            for name in ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"] {
+                assert!(out.contains(name), "missing {name} in:\n{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_rejects_unskewed_fused_redblack_with_witness() {
+        let err = run_line("analyze --kernel redblack --transform gcdpad --no-skew").unwrap_err();
+        assert!(err.contains("ILLEGAL"), "{err}");
+        // The paper's plane-spanning flow dependence is the witness.
+        assert!(err.contains("[1, 1, -1, 0]"), "witness missing:\n{err}");
+        assert!(err.contains("refusing to certify"), "{err}");
+        // Untiled transforms stay legal even without the skew.
+        let ok = run_line("analyze --kernel redblack --transform orig --no-skew").unwrap();
+        assert!(ok.contains("legal"), "{ok}");
+    }
+
+    #[test]
+    fn analyze_shows_dependences_and_schedule() {
+        let out = run_line("analyze --kernel redblack --transform gcdpad").unwrap();
+        assert!(out.contains("KK"), "fused dims in:\n{out}");
+        assert!(out.contains("flow"), "{out}");
+        assert!(out.contains("anti"), "{out}");
+        assert!(out.contains("skew"), "schedule steps in:\n{out}");
+        assert!(out.contains("LEGAL"), "{out}");
     }
 }

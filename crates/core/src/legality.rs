@@ -1,0 +1,251 @@
+//! Certified planning: every [`TransformPlan`] is paired with the
+//! [`LegalityCertificate`] proving its schedule respects the kernel's data
+//! dependences, and constructing an illegal plan is a typed error.
+//!
+//! [`plan`] resolves *what* to run (tile sizes, pads); this module settles
+//! *whether it may run at all*. The bridge is [`SweepDiscipline`]: how the
+//! kernel's sweep uses its arrays, which fixes the dependence set —
+//! out-of-place sweeps (Jacobi, RESID) carry none, the fused red-black
+//! update carries the 4D fused-space set, an in-place SOR-style sweep
+//! carries one dependence per stencil offset. [`plan_certified`] plans as
+//! usual, certifies the schedule the executors will actually use (tiled
+//! red-black runs the *skew-tiled* Fig 12 schedule), and only hands out a
+//! [`CertifiedPlan`] when the verdict is legal; the only way to observe the
+//! illegal case is the [`IllegalPlan`] error, which carries the certificate
+//! with its violation witnesses.
+
+use crate::plan::{plan, CacheSpec, Transform, TransformPlan};
+use std::fmt;
+use tiling3d_loopnest::{certify, DepSet, LegalityCertificate, Schedule, StencilShape};
+
+/// How a kernel's sweep uses its arrays — determines which dependences its
+/// schedule must respect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepDiscipline {
+    /// `A = f(B)` over distinct arrays: the loops carry no dependences.
+    OutOfPlace,
+    /// In-place single-statement sweep `A = f(A)`: one dependence per
+    /// nonzero stencil offset.
+    InPlace(StencilShape),
+    /// The fused red-black update (Fig 12): dependences live in the fused
+    /// `(KK, T, J, I)` iteration space; tiling is only legal with skewed
+    /// tile origins.
+    FusedRedBlack,
+}
+
+impl SweepDiscipline {
+    /// The dependence set this discipline imposes.
+    pub fn deps(&self) -> DepSet {
+        match self {
+            SweepDiscipline::OutOfPlace => DepSet::out_of_place(),
+            SweepDiscipline::InPlace(shape) => DepSet::in_place(shape),
+            SweepDiscipline::FusedRedBlack => DepSet::fused_redblack(),
+        }
+    }
+
+    /// The schedule a `tiled`/untiled plan executes under this discipline.
+    /// `skewed` selects the tile-origin skew for the fused red-black case
+    /// (the executors always skew; `false` models the rectangular variant
+    /// the analyzer must reject).
+    pub fn schedule(&self, tiled: bool, skewed: bool) -> Schedule {
+        match self {
+            SweepDiscipline::FusedRedBlack => {
+                if tiled {
+                    Schedule::fused_redblack_tiled(skewed)
+                } else {
+                    let mut s = Schedule::original(4);
+                    s.name = "fused red-black, untiled".into();
+                    s
+                }
+            }
+            _ => {
+                if tiled {
+                    Schedule::tiled_ji()
+                } else {
+                    Schedule::original(3)
+                }
+            }
+        }
+    }
+}
+
+/// Certifies the schedule a transform executes under the given discipline.
+/// `skewed` only matters for tiled fused red-black (see
+/// [`SweepDiscipline::schedule`]).
+pub fn certificate_for(
+    discipline: &SweepDiscipline,
+    tiled: bool,
+    skewed: bool,
+) -> LegalityCertificate {
+    certify(&discipline.deps(), &discipline.schedule(tiled, skewed))
+}
+
+/// A [`TransformPlan`] whose schedule has been *proved* legal for its
+/// kernel's dependences. The fields are private: the only constructor is
+/// [`plan_certified`], so holding one of these is holding the proof.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertifiedPlan {
+    plan: TransformPlan,
+    certificate: LegalityCertificate,
+}
+
+impl CertifiedPlan {
+    /// The underlying resolved plan.
+    pub fn plan(&self) -> &TransformPlan {
+        &self.plan
+    }
+
+    /// The legality proof (always a `Legal` verdict).
+    pub fn certificate(&self) -> &LegalityCertificate {
+        &self.certificate
+    }
+
+    /// Convenience: the plan's iteration tile.
+    pub fn tile(&self) -> Option<(usize, usize)> {
+        self.plan.tile
+    }
+
+    /// Convenience: the plan's padded allocation dims `(di, dj)`.
+    pub fn padded_dims(&self) -> (usize, usize) {
+        (self.plan.padded_di, self.plan.padded_dj)
+    }
+}
+
+/// The typed error for an illegal plan request: carries the certificate
+/// whose verdict names every broken dependence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IllegalPlan {
+    /// The transform that was requested.
+    pub transform: Transform,
+    /// The failed certificate (verdict is `Illegal` with witnesses).
+    /// Boxed so the error variant stays small next to `CertifiedPlan`.
+    pub certificate: Box<LegalityCertificate>,
+}
+
+impl fmt::Display for IllegalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transform {} is illegal under schedule '{}'",
+            self.transform.name(),
+            self.certificate.schedule.name
+        )?;
+        for v in self.certificate.violations() {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for IllegalPlan {}
+
+/// Plans a transform and certifies the schedule its executors will run
+/// (tiled fused red-black uses the skewed schedule, exactly like the
+/// `stencil` executors). Returns the paired plan + proof, or the typed
+/// [`IllegalPlan`] error.
+///
+/// Certification happens once per plan — never per access — so the gate
+/// adds nothing to simulation or sweep throughput.
+pub fn plan_certified(
+    t: Transform,
+    cache: CacheSpec,
+    di: usize,
+    dj: usize,
+    shape: &StencilShape,
+    discipline: &SweepDiscipline,
+) -> Result<CertifiedPlan, IllegalPlan> {
+    let p = plan(t, cache, di, dj, shape);
+    let certificate = certificate_for(discipline, p.tile.is_some(), true);
+    if certificate.is_legal() {
+        Ok(CertifiedPlan {
+            plan: p,
+            certificate,
+        })
+    } else {
+        Err(IllegalPlan {
+            transform: t,
+            certificate: Box::new(certificate),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CacheSpec {
+        CacheSpec::ELEMENTS_16K_DOUBLES
+    }
+
+    #[test]
+    fn every_paper_transform_certifies_for_every_discipline() {
+        let cases = [
+            (SweepDiscipline::OutOfPlace, StencilShape::jacobi3d()),
+            (SweepDiscipline::OutOfPlace, StencilShape::resid27()),
+            (
+                SweepDiscipline::FusedRedBlack,
+                StencilShape::redblack3d_fused(),
+            ),
+            (
+                SweepDiscipline::InPlace(StencilShape::jacobi3d()),
+                StencilShape::jacobi3d(),
+            ),
+        ];
+        for (discipline, shape) in &cases {
+            for t in Transform::ALL {
+                let cp = plan_certified(t, spec(), 200, 200, shape, discipline)
+                    .unwrap_or_else(|e| panic!("{discipline:?} {t:?}: {e}"));
+                assert!(cp.certificate().is_legal());
+                assert!(cp.certificate().revalidate().is_ok());
+                // The certified plan matches the uncertified planner.
+                assert_eq!(cp.plan(), &plan(t, spec(), 200, 200, shape));
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_fused_redblack_tiling_is_a_typed_error() {
+        let cert = certificate_for(&SweepDiscipline::FusedRedBlack, true, false);
+        assert!(!cert.is_legal());
+        let err = IllegalPlan {
+            transform: Transform::GcdPad,
+            certificate: Box::new(cert),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("illegal"), "{msg}");
+        assert!(msg.contains("[1, 1, -1, 0]"), "witness in message: {msg}");
+    }
+
+    #[test]
+    fn untiled_plans_certify_under_the_original_schedule() {
+        let cp = plan_certified(
+            Transform::Orig,
+            spec(),
+            100,
+            100,
+            &StencilShape::redblack3d_fused(),
+            &SweepDiscipline::FusedRedBlack,
+        )
+        .unwrap();
+        assert!(cp.tile().is_none());
+        assert_eq!(cp.certificate().schedule.steps, vec![]);
+    }
+
+    #[test]
+    fn certificates_are_computed_once_per_plan() {
+        // The certificate is part of the plan value, not recomputed per
+        // access: two plans for the same inputs carry equal certificates.
+        let mk = || {
+            plan_certified(
+                Transform::Pad,
+                spec(),
+                341,
+                341,
+                &StencilShape::jacobi3d(),
+                &SweepDiscipline::OutOfPlace,
+            )
+            .unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -43,6 +43,7 @@ mod effcache;
 mod euc;
 mod gcdpad;
 pub mod intervar;
+pub mod legality;
 pub mod nonconflict;
 mod overhead;
 mod padsearch;
@@ -52,8 +53,9 @@ pub mod tile2d;
 
 pub use cost::CostModel;
 pub use effcache::effective_cache_tile;
-pub use euc::{euc3d, euc3d_with_depths, TileSelection};
+pub use euc::{euc3d, euc3d_checked, euc3d_with_depths, TileSelection};
 pub use gcdpad::{gcd_pad, GcdPadPlan};
+pub use legality::{plan_certified, CertifiedPlan, IllegalPlan, SweepDiscipline};
 pub use nonconflict::ArrayTile;
 pub use overhead::{memory_overhead_pct, padded_elements};
 pub use padsearch::pad;

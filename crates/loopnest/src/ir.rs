@@ -81,7 +81,7 @@ pub struct ArrayRef {
 }
 
 /// Storage description of one array for trace generation: base byte address
-/// and allocated (possibly padded) leading dimensions.
+/// and allocated (possibly padded) dimensions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ArrayDesc {
     /// Byte address of element `(0, 0, 0)`.
@@ -90,6 +90,8 @@ pub struct ArrayDesc {
     pub di: usize,
     /// Allocated middle dimension (`di * dj` = plane stride, elements).
     pub dj: usize,
+    /// Allocated depth (number of planes); `di * dj * dk` elements total.
+    pub dk: usize,
 }
 
 impl ArrayDesc {
@@ -296,7 +298,11 @@ impl Nest {
         self.for_each_point(|i, j, k| {
             for r in &self.refs {
                 let a = &arrays[r.array];
-                let addr = a.addr(i + r.off.0 as i64, j + r.off.1 as i64, k + r.off.2 as i64);
+                let addr = a.addr(
+                    i + i64::from(r.off.0),
+                    j + i64::from(r.off.1),
+                    k + i64::from(r.off.2),
+                );
                 if r.write {
                     sink.write(addr);
                 } else {
@@ -400,11 +406,13 @@ mod tests {
                 base: 0,
                 di: n as usize,
                 dj: n as usize,
+                dk: n as usize,
             },
             ArrayDesc {
                 base: 8 * (n * n * n) as u64,
                 di: n as usize,
                 dj: n as usize,
+                dk: n as usize,
             },
         ];
         let mut c = CountingSink::default();
@@ -432,11 +440,13 @@ mod tests {
                 base: 0,
                 di: 16,
                 dj: 16,
+                dk: 16,
             },
             ArrayDesc {
                 base: 1 << 20,
                 di: 16,
                 dj: 16,
+                dk: 16,
             },
         ];
         let orig = jacobi_nest(14);

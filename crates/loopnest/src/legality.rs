@@ -1,0 +1,657 @@
+//! Dependence-certified schedule legality: the static analysis pass every
+//! transformation must clear before its address stream is trusted.
+//!
+//! [`crate::dependence`] states *why* the paper's schedules are legal; this
+//! module turns that prose into a machine-checkable proof. A transformation
+//! is modelled as a [`Schedule`] — a sequence of elementary reorderings of
+//! the iteration space (skews, loop permutations, tile bands) — and a
+//! kernel's data dependences as a [`DepSet`] of constant distance vectors
+//! over a *named* N-dimensional iteration space. [`certify`] then applies
+//! the classical legality condition: under the transformed execution order,
+//! every dependence's possible schedule-time difference vectors must remain
+//! lexicographically positive (source still runs before sink). The result
+//! is a [`LegalityCertificate`] carrying the dependences, the schedule and
+//! the verdict — including, on failure, the exact distance vector and
+//! direction combination that would execute backwards.
+//!
+//! Tile-controlling loops are handled with *direction vectors*: a distance
+//! `d` in a tiled dimension may or may not cross a tile boundary, so its
+//! tile-loop component is abstracted to the sign set `{0, sign(d)}` and all
+//! combinations are checked. This is conservative (a distance smaller than
+//! the tile width might never cross a boundary) but sound for every tile
+//! size, which is what a plan-time gate needs: tile extents are chosen
+//! *after* legality is settled.
+//!
+//! The paper's interesting case falls out directly: the fused red-black
+//! schedule carries a flow dependence with fused-space distance
+//! `(KK, T, J, I) = (1, 1, -1, 0)` — "next plane pair, previous row" — so a
+//! rectangular `(J, I)` tile band admits the direction combination
+//! `(-1, 0, 1, 1, -1, 0)`, which is lexicographically negative: **illegal**.
+//! Skewing both tile origins by the trip index (Fig 12's `K - KK`) turns
+//! the distance into `(1, 1, 0, 1)`, whose tile components can no longer go
+//! negative: **legal**. See [`Schedule::fused_redblack_tiled`].
+
+use crate::dependence::{inplace_dependences, DepKind};
+use crate::shape::StencilShape;
+use std::fmt;
+
+/// One constant-distance dependence in an N-dimensional iteration space,
+/// components in loop order (outermost first), lexicographically positive
+/// in the original schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dep {
+    /// Distance vector, outermost loop first.
+    pub distance: Vec<i64>,
+    /// Flow (write→read) or anti (read→write).
+    pub kind: DepKind,
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+        };
+        write!(f, "{kind} {:?}", self.distance)
+    }
+}
+
+/// A set of dependences over a named iteration space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepSet {
+    /// Loop-dimension names, outermost first (e.g. `["K", "J", "I"]`).
+    pub dims: Vec<&'static str>,
+    /// The dependences; every distance has `dims.len()` components.
+    pub deps: Vec<Dep>,
+}
+
+impl DepSet {
+    /// Out-of-place sweep (`A = f(B)`, distinct arrays): the loops carry no
+    /// dependences, so every reordering is trivially legal.
+    pub fn out_of_place() -> Self {
+        DepSet {
+            dims: vec!["K", "J", "I"],
+            deps: Vec::new(),
+        }
+    }
+
+    /// In-place single-statement sweep (`A = f(A)`): one dependence per
+    /// nonzero stencil offset, via
+    /// [`crate::dependence::inplace_dependences`].
+    pub fn in_place(shape: &StencilShape) -> Self {
+        DepSet {
+            dims: vec!["K", "J", "I"],
+            deps: inplace_dependences(shape)
+                .into_iter()
+                .map(|d| Dep {
+                    distance: vec![
+                        i64::from(d.distance.0),
+                        i64::from(d.distance.1),
+                        i64::from(d.distance.2),
+                    ],
+                    kind: d.kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// The fused red-black schedule's dependences (Fig 12, middle) in fused
+    /// coordinates `(KK, T, J, I)`, where trip `T = 0` updates red points of
+    /// plane `KK + 1` and trip `T = 1` updates black points of plane `KK`.
+    ///
+    /// For each face offset `(di, dj, dk)` of the 7-point stencil:
+    /// * a black update reads the red neighbour written `1 - dk` fused
+    ///   iterations earlier — a **flow** dependence `(1-dk, 1, -dj, -di)`;
+    /// * a red update reads a black neighbour's pre-update value, rewritten
+    ///   `1 + dk` fused iterations later — an **anti** dependence
+    ///   `(1+dk, 1, dj, di)`.
+    ///
+    /// The `dk = 0` flow dependences `(1, 1, ±1, 0)` / `(1, 1, 0, ±1)` are
+    /// the plane-spanning ones that make rectangular tiling illegal.
+    pub fn fused_redblack() -> Self {
+        let mut deps = Vec::new();
+        for &(di, dj, dk) in StencilShape::redblack3d().offsets() {
+            if (di, dj, dk) == (0, 0, 0) {
+                continue; // centre read: same-statement, no cross-iteration dep
+            }
+            let (di, dj, dk) = (i64::from(di), i64::from(dj), i64::from(dk));
+            let flow = Dep {
+                distance: vec![1 - dk, 1, -dj, -di],
+                kind: DepKind::Flow,
+            };
+            let anti = Dep {
+                distance: vec![1 + dk, 1, dj, di],
+                kind: DepKind::Anti,
+            };
+            for d in [flow, anti] {
+                if !deps.contains(&d) {
+                    deps.push(d);
+                }
+            }
+        }
+        DepSet {
+            dims: vec!["KK", "T", "J", "I"],
+            deps,
+        }
+    }
+
+    /// A time-step loop around a 2D stencil sweep (Fig 5): coordinates
+    /// `(T, J, I)`, one **flow** dependence `(1, dj, di)` per read offset —
+    /// the value read at offset `o` was produced one time step earlier.
+    pub fn time_stepped_2d(shape: &StencilShape) -> Self {
+        DepSet {
+            dims: vec!["T", "J", "I"],
+            deps: shape
+                .offsets()
+                .iter()
+                .map(|&(di, dj, _)| Dep {
+                    distance: vec![1, i64::from(dj), i64::from(di)],
+                    kind: DepKind::Flow,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One elementary reordering of the iteration space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// Skew loop `target` by `factor` times loop `source`
+    /// (`v_target += factor * v_source`); unimodular, always legal alone.
+    Skew {
+        /// Index of the skewed loop (current order).
+        target: usize,
+        /// Index of the loop whose value is added in.
+        source: usize,
+        /// Skew factor.
+        factor: i64,
+    },
+    /// Reorder the point loops: position `p` of the new order is the loop
+    /// currently at `perm[p]`.
+    Permute(Vec<usize>),
+    /// Strip-mine each listed loop and move the tile-controlling loops
+    /// outermost, in the given order (the paper's `JJ / II` band). Point
+    /// loops keep their current relative order inside the band.
+    TileBand(Vec<usize>),
+}
+
+/// A transformation, modelled as a named sequence of [`ScheduleStep`]s
+/// applied to an `ndims`-deep loop nest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Human-readable schedule name (shown in certificates).
+    pub name: String,
+    /// Depth of the point loop nest the steps apply to.
+    pub ndims: usize,
+    /// The reordering steps, applied in order.
+    pub steps: Vec<ScheduleStep>,
+}
+
+impl Schedule {
+    /// The identity schedule: original loop order, no transformation.
+    pub fn original(ndims: usize) -> Self {
+        Schedule {
+            name: "original".into(),
+            ndims,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The paper's Fig 6 transformation on a `K/J/I` nest: tile the
+    /// `(J, I)` band, controllers (`JJ`, `II`) outermost, `K` running in
+    /// full inside each tile.
+    pub fn tiled_ji() -> Self {
+        Schedule {
+            name: "JI-tiled (Fig 6)".into(),
+            ndims: 3,
+            steps: vec![ScheduleStep::TileBand(vec![1, 2])],
+        }
+    }
+
+    /// A plain loop permutation of a 3-deep nest.
+    pub fn permuted(perm: [usize; 3]) -> Self {
+        Schedule {
+            name: format!("permuted {perm:?}"),
+            ndims: 3,
+            steps: vec![ScheduleStep::Permute(perm.to_vec())],
+        }
+    }
+
+    /// Tiling of the fused red-black schedule over `(KK, T, J, I)` fused
+    /// coordinates (Fig 12, bottom).
+    ///
+    /// With `skewed = true` the tile origins are first skewed by the trip
+    /// index (`J += T`, `I += T` — the Fortran `K - KK`), then the `(J, I)`
+    /// band is tiled: the paper's legal schedule. With `skewed = false` the
+    /// band is tiled rectangularly — the known-illegal variant the analyzer
+    /// must reject.
+    pub fn fused_redblack_tiled(skewed: bool) -> Self {
+        let mut steps = Vec::new();
+        if skewed {
+            steps.push(ScheduleStep::Skew {
+                target: 2,
+                source: 1,
+                factor: 1,
+            });
+            steps.push(ScheduleStep::Skew {
+                target: 3,
+                source: 1,
+                factor: 1,
+            });
+        }
+        steps.push(ScheduleStep::TileBand(vec![2, 3]));
+        Schedule {
+            name: if skewed {
+                "fused red-black, skew-tiled JI (Fig 12)".into()
+            } else {
+                "fused red-black, rectangular-tiled JI (unskewed)".into()
+            },
+            ndims: 4,
+            steps,
+        }
+    }
+
+    /// Time skewing of a `(T, J, I)` nest (Song & Li; Wonnacott): skew
+    /// `J' = J + T`, then tile the `(T, J')` band. With `skewed = false`,
+    /// the rectangular `(T, J)` tiling that the time-step dependences
+    /// forbid.
+    pub fn time_skewed(skewed: bool) -> Self {
+        let mut steps = Vec::new();
+        if skewed {
+            steps.push(ScheduleStep::Skew {
+                target: 1,
+                source: 0,
+                factor: 1,
+            });
+        }
+        steps.push(ScheduleStep::TileBand(vec![0, 1]));
+        Schedule {
+            name: if skewed {
+                "time-skewed (T, J') band tiling".into()
+            } else {
+                "rectangular (T, J) band tiling".into()
+            },
+            ndims: 3,
+            steps,
+        }
+    }
+
+    /// All schedule-time difference vectors a dependence distance `d` can
+    /// exhibit under this schedule. Exact components for point loops;
+    /// tile-loop components abstracted to every sign they may take.
+    ///
+    /// # Panics
+    /// Panics if `d.len() != self.ndims`, a permutation is malformed, or a
+    /// step names a loop out of range.
+    pub fn time_vectors(&self, d: &[i64]) -> Vec<Vec<i64>> {
+        assert_eq!(d.len(), self.ndims, "distance/schedule rank mismatch");
+        let mut point: Vec<i64> = d.to_vec();
+        // Possible tile-controller prefixes, outermost first.
+        let mut prefixes: Vec<Vec<i64>> = vec![Vec::new()];
+        for step in &self.steps {
+            match step {
+                ScheduleStep::Skew {
+                    target,
+                    source,
+                    factor,
+                } => {
+                    assert!(*target < point.len() && *source < point.len());
+                    point[*target] += factor * point[*source];
+                }
+                ScheduleStep::Permute(perm) => {
+                    assert_eq!(perm.len(), point.len(), "bad permutation rank");
+                    let mut seen = vec![false; perm.len()];
+                    for &p in perm {
+                        assert!(p < perm.len() && !seen[p], "not a permutation: {perm:?}");
+                        seen[p] = true;
+                    }
+                    point = perm.iter().map(|&p| point[p]).collect();
+                }
+                ScheduleStep::TileBand(band) => {
+                    for &dim in band {
+                        assert!(dim < point.len(), "tile band names loop {dim} of {point:?}");
+                        // A distance may or may not cross a tile boundary:
+                        // the controller component is 0 or sign(d).
+                        let opts: &[i64] = match point[dim].signum() {
+                            0 => &[0],
+                            1 => &[0, 1],
+                            _ => &[-1, 0],
+                        };
+                        prefixes = prefixes
+                            .iter()
+                            .flat_map(|pre| {
+                                opts.iter().map(move |&o| {
+                                    let mut v = pre.clone();
+                                    v.push(o);
+                                    v
+                                })
+                            })
+                            .collect();
+                    }
+                }
+            }
+        }
+        prefixes
+            .into_iter()
+            .map(|mut pre| {
+                pre.extend(point.iter().copied());
+                pre
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for step in &self.steps {
+            match step {
+                ScheduleStep::Skew {
+                    target,
+                    source,
+                    factor,
+                } => write!(f, "; skew L{target} += {factor}*L{source}")?,
+                ScheduleStep::Permute(p) => write!(f, "; permute {p:?}")?,
+                ScheduleStep::TileBand(b) => write!(f, "; tile band {b:?} outermost")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True when `v` is lexicographically positive.
+fn lex_positive(v: &[i64]) -> bool {
+    for &c in v {
+        if c > 0 {
+            return true;
+        }
+        if c < 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// A dependence the schedule would execute backwards: the certificate's
+/// counterexample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The broken dependence (distance in original coordinates).
+    pub dep: Dep,
+    /// The non-positive schedule-time difference vector that realises the
+    /// violation (tile-controller components first).
+    pub time_vector: Vec<i64>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependence {} is violated: schedule-time difference {:?} is not \
+             lexicographically positive (sink would run before source)",
+            self.dep, self.time_vector
+        )
+    }
+}
+
+/// Outcome of a legality check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every dependence stays lexicographically positive under the
+    /// schedule.
+    Legal,
+    /// At least one dependence is reversed; one witness per broken
+    /// dependence.
+    Illegal(Vec<Violation>),
+}
+
+/// A machine-checkable legality proof object: the dependences, the
+/// schedule, and the verdict [`certify`] computed for them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LegalityCertificate {
+    /// The dependence set the verdict covers.
+    pub deps: DepSet,
+    /// The schedule the verdict covers.
+    pub schedule: Schedule,
+    /// Legal, or illegal with a witness.
+    pub verdict: Verdict,
+}
+
+impl LegalityCertificate {
+    /// True when the certified schedule is legal.
+    pub fn is_legal(&self) -> bool {
+        matches!(self.verdict, Verdict::Legal)
+    }
+
+    /// The first violation witness, if the schedule is illegal.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violations().first()
+    }
+
+    /// All violation witnesses (empty when legal).
+    pub fn violations(&self) -> &[Violation] {
+        match &self.verdict {
+            Verdict::Legal => &[],
+            Verdict::Illegal(vs) => vs,
+        }
+    }
+
+    /// Re-runs the analysis from the stored dependences and schedule and
+    /// checks the stored verdict still follows — the "machine-checkable"
+    /// half of the certificate. Returns the recomputed verdict on mismatch.
+    pub fn revalidate(&self) -> Result<(), Verdict> {
+        let fresh = certify(&self.deps, &self.schedule);
+        if fresh.verdict == self.verdict {
+            Ok(())
+        } else {
+            Err(fresh.verdict)
+        }
+    }
+
+    /// Human-readable report: dimensions, dependences, schedule, verdict.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "iteration space: {:?}", self.deps.dims);
+        if self.deps.deps.is_empty() {
+            let _ = writeln!(out, "dependences: none (loop nest carries no dependence)");
+        } else {
+            let _ = writeln!(out, "dependences ({}):", self.deps.deps.len());
+            for d in &self.deps.deps {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        let _ = writeln!(out, "schedule: {}", self.schedule);
+        match &self.verdict {
+            Verdict::Legal => {
+                let _ = writeln!(
+                    out,
+                    "verdict: LEGAL — every dependence distance stays \
+                     lexicographically positive"
+                );
+            }
+            Verdict::Illegal(vs) => {
+                let _ = writeln!(out, "verdict: ILLEGAL ({} broken dependence(s))", vs.len());
+                for v in vs {
+                    let _ = writeln!(out, "  {v}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Proves or refutes the legality of `schedule` for `deps`: every possible
+/// schedule-time difference of every dependence must remain
+/// lexicographically positive. Each broken dependence contributes one
+/// witness (its first reversed direction combination) to the verdict.
+///
+/// # Panics
+/// Panics if a dependence's rank differs from the schedule's `ndims`.
+pub fn certify(deps: &DepSet, schedule: &Schedule) -> LegalityCertificate {
+    let mut violations = Vec::new();
+    for dep in &deps.deps {
+        if let Some(tv) = schedule
+            .time_vectors(&dep.distance)
+            .into_iter()
+            .find(|tv| !lex_positive(tv))
+        {
+            violations.push(Violation {
+                dep: dep.clone(),
+                time_vector: tv,
+            });
+        }
+    }
+    LegalityCertificate {
+        deps: deps.clone(),
+        schedule: schedule.clone(),
+        verdict: if violations.is_empty() {
+            Verdict::Legal
+        } else {
+            Verdict::Illegal(violations)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependence::{jj_ii_tiling_legal, permutation_legal, Dependence};
+
+    #[test]
+    fn out_of_place_is_legal_under_every_schedule() {
+        let deps = DepSet::out_of_place();
+        for s in [
+            Schedule::original(3),
+            Schedule::tiled_ji(),
+            Schedule::permuted([2, 1, 0]),
+        ] {
+            assert!(certify(&deps, &s).is_legal(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn in_place_jacobi_tiling_is_certified_legal() {
+        let deps = DepSet::in_place(&StencilShape::jacobi3d());
+        let cert = certify(&deps, &Schedule::tiled_ji());
+        assert!(cert.is_legal());
+        assert!(cert.revalidate().is_ok());
+    }
+
+    #[test]
+    fn fused_redblack_rectangular_tiling_is_rejected_with_witness() {
+        let deps = DepSet::fused_redblack();
+        // The fused schedule itself is fine...
+        assert!(certify(&deps, &Schedule::original(4)).is_legal());
+        // ...rectangular tiling is not: the (1, 1, -1, 0) flow dependence
+        // admits a backwards tile step.
+        let cert = certify(&deps, &Schedule::fused_redblack_tiled(false));
+        assert!(!cert.is_legal());
+        assert!(cert.violation().is_some());
+        // The paper's one-plane-spanning flow dependence — "next plane
+        // pair, previous row" — must be among the broken ones, with a
+        // lexicographically negative time vector as proof.
+        let v = cert
+            .violations()
+            .iter()
+            .find(|v| v.dep.kind == DepKind::Flow && v.dep.distance == vec![1, 1, -1, 0])
+            .expect("the (1, 1, -1, 0) flow dependence must be reported broken");
+        assert!(!lex_positive(&v.time_vector));
+        // And every witness is a genuine counterexample.
+        for v in cert.violations() {
+            assert!(!lex_positive(&v.time_vector), "{v}");
+        }
+        // ...and the skewed tiling restores legality.
+        assert!(certify(&deps, &Schedule::fused_redblack_tiled(true)).is_legal());
+    }
+
+    #[test]
+    fn time_skewing_legalises_the_time_step_band() {
+        let deps = DepSet::time_stepped_2d(&StencilShape::jacobi2d());
+        assert!(!certify(&deps, &Schedule::time_skewed(false)).is_legal());
+        assert!(certify(&deps, &Schedule::time_skewed(true)).is_legal());
+    }
+
+    #[test]
+    fn framework_agrees_with_the_closed_form_ji_test() {
+        // Deterministic xorshift sweep over random 3D distance vectors: the
+        // direction-vector framework must agree with the closed-form
+        // jj_ii_tiling_legal on every lexicographically positive input.
+        let mut s = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let sched = Schedule::tiled_ji();
+        let mut checked = 0;
+        while checked < 500 {
+            let c = |r: u64| (r % 7) as i32 - 3;
+            let v = (c(rnd()), c(rnd()), c(rnd()));
+            if v <= (0, 0, 0) {
+                continue; // dependences are lex-positive by construction
+            }
+            checked += 1;
+            let dep3 = Dependence {
+                distance: v,
+                kind: DepKind::Flow,
+            };
+            let deps = DepSet {
+                dims: vec!["K", "J", "I"],
+                deps: vec![Dep {
+                    distance: vec![i64::from(v.0), i64::from(v.1), i64::from(v.2)],
+                    kind: DepKind::Flow,
+                }],
+            };
+            assert_eq!(
+                certify(&deps, &sched).is_legal(),
+                jj_ii_tiling_legal(&[dep3]),
+                "disagreement on {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn framework_agrees_with_permutation_legal() {
+        let shapes = [
+            StencilShape::jacobi3d(),
+            StencilShape::redblack3d(),
+            StencilShape::resid27(),
+        ];
+        for shape in &shapes {
+            let deps3 = inplace_dependences(shape);
+            let deps = DepSet::in_place(shape);
+            for perm in [[0, 1, 2], [1, 0, 2], [2, 1, 0], [1, 2, 0], [2, 0, 1]] {
+                assert_eq!(
+                    certify(&deps, &Schedule::permuted(perm)).is_legal(),
+                    permutation_legal(&deps3, perm),
+                    "{} {perm:?}",
+                    shape.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn revalidate_detects_tampering() {
+        let deps = DepSet::fused_redblack();
+        let mut cert = certify(&deps, &Schedule::fused_redblack_tiled(false));
+        assert!(cert.revalidate().is_ok());
+        cert.verdict = Verdict::Legal; // forge the verdict
+        assert!(cert.revalidate().is_err());
+    }
+
+    #[test]
+    fn reports_are_self_describing() {
+        let cert = certify(
+            &DepSet::fused_redblack(),
+            &Schedule::fused_redblack_tiled(false),
+        );
+        let r = cert.report();
+        assert!(r.contains("ILLEGAL"));
+        assert!(r.contains("[1, 1, -1, 0]"), "witness distance in:\n{r}");
+        let legal = certify(&DepSet::out_of_place(), &Schedule::tiled_ji());
+        assert!(legal.report().contains("LEGAL"));
+    }
+}

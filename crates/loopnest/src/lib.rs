@@ -12,12 +12,19 @@
 //! * [`IterSpace`] — rectangular 3D iteration spaces with Fortran loop
 //!   order (`K` outer, `I` inner), plus [`for_each_tiled`] implementing the
 //!   paper's JJ/II tiling schedule;
-//! * [`Nest`] — a tiny loop IR over which [`Nest::tile`] performs
+//! * [`Nest`] — a tiny loop IR over which [`Nest::tile_jj_ii`] performs
 //!   strip-mine + permute, and whose interpreter replays the exact address
 //!   stream of the (transformed) nest into any [`Trace`] consumer;
 //! * [`reuse`] — the capacity analysis behind Section 1 of the paper: why
 //!   2D stencils keep group reuse up to column length ~`C/2` while 3D
-//!   stencils lose it beyond plane size `sqrt(C/(ATD-1))`.
+//!   stencils lose it beyond plane size `sqrt(C/(ATD-1))`;
+//! * [`legality`] — dependence-certified schedule legality: every
+//!   transformation is modelled as a [`Schedule`] and proved (or refuted,
+//!   with a witness) against the kernel's [`DepSet`], producing a
+//!   machine-checkable [`LegalityCertificate`];
+//! * [`Nest::verify`] — a static safety pass over the IR that rejects
+//!   out-of-bounds references and write-write aliasing before any address
+//!   stream reaches the cache simulator.
 //!
 //! # Example: the paper's Section 1 boundary numbers
 //!
@@ -39,11 +46,15 @@
 
 pub mod dependence;
 mod ir;
+pub mod legality;
 mod shape;
 mod space;
+mod verify;
 
 pub mod reuse;
 
 pub use ir::{ArrayDesc, ArrayRef, Dim, Loop, LoopKind, Nest, Trace};
+pub use legality::{certify, Dep, DepSet, LegalityCertificate, Schedule, Verdict, Violation};
 pub use shape::StencilShape;
 pub use space::{for_each, for_each_tiled, IterSpace, TileDims};
+pub use verify::VerifyError;

@@ -226,11 +226,18 @@ mod tests {
                 base: (di * dj * n * 8) as u64,
                 di,
                 dj,
+                dk: n,
             }, // B
-            ArrayDesc { base: 0, di, dj }, // A
+            ArrayDesc {
+                base: 0,
+                di,
+                dj,
+                dk: n,
+            }, // A
         ];
         let mut ir = Rec::default();
-        nest.execute(&arrays, &mut ir);
+        nest.execute_checked(&arrays, &mut ir)
+            .expect("jacobi nest verifies");
         assert_eq!(hand, ir);
     }
 
@@ -265,11 +272,18 @@ mod tests {
                 base: (di * dj * n * 8) as u64,
                 di,
                 dj,
+                dk: n,
             },
-            ArrayDesc { base: 0, di, dj },
+            ArrayDesc {
+                base: 0,
+                di,
+                dj,
+                dk: n,
+            },
         ];
         let mut ir = Rec::default();
-        nest.execute(&arrays, &mut ir);
+        nest.execute_checked(&arrays, &mut ir)
+            .expect("tiled jacobi nest verifies");
         assert_eq!(hand, ir);
     }
 

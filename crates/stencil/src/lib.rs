@@ -24,10 +24,18 @@
 //! for the benchmark harness, and [`parallel`] provides scoped-thread
 //! K-slab parallel sweeps showing that the paper's intra-nest tiling
 //! composes with thread parallelism.
+//!
+//! Schedule legality is enforced in two layers: statically, each kernel's
+//! transforms are planned through `tiling3d_core::plan_certified` and run
+//! via [`kernels::Kernel::run_certified`], which only accepts a
+//! dependence-certified plan; dynamically (debug builds), [`crosscheck`]
+//! replays the transformed visit order and verifies it is a permutation of
+//! the iteration space consistent with the certificate's dependences.
 
 #![warn(missing_docs)]
 
 pub mod copyopt;
+pub mod crosscheck;
 pub mod jacobi2d;
 pub mod jacobi3d;
 pub mod kernels;

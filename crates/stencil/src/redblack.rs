@@ -115,6 +115,21 @@ fn visit_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usi
     }
 }
 
+/// Walks the update points of `schedule` in **execution order**, calling
+/// `f(i, j, k)` once per interior point.
+///
+/// This is the order the dynamic legality cross-check replays (see
+/// `crate::crosscheck`): red points must be visited before every adjacent
+/// black point for the in-place update to be correct, which is exactly the
+/// lexicographic-positivity condition the static certificate proves.
+pub fn visit(n: usize, nk: usize, schedule: Schedule, f: impl FnMut(usize, usize, usize)) {
+    match schedule {
+        Schedule::Naive => visit_naive(n, nk, f),
+        Schedule::Fused => visit_fused(n, nk, f),
+        Schedule::Tiled(t) => visit_tiled(n, nk, t, f),
+    }
+}
+
 #[inline(always)]
 fn update(av: &mut [f64], idx: usize, di: usize, ps: usize, c1: f64, c2: f64) {
     av[idx] = c1 * av[idx]
@@ -138,14 +153,9 @@ pub fn sweep(a: &mut Array3<f64>, c1: f64, c2: f64, schedule: Schedule) {
     assert!(a.nj() == n, "red-black kernel expects square I/J extents");
     let (di, ps) = (a.di(), a.plane_stride());
     let av = a.as_mut_slice();
-    let body = |i: usize, j: usize, k: usize| {
+    visit(n, nk, schedule, |i, j, k| {
         update(av, i + j * di + k * ps, di, ps, c1, c2);
-    };
-    match schedule {
-        Schedule::Naive => visit_naive(n, nk, body),
-        Schedule::Fused => visit_fused(n, nk, body),
-        Schedule::Tiled(t) => visit_tiled(n, nk, t, body),
-    }
+    });
 }
 
 /// Replays the exact address trace of one iteration (array `A` at byte 0,
@@ -161,7 +171,7 @@ pub fn trace<S: AccessSink>(
 ) {
     assert!(di >= n && dj >= n);
     let ps = di * dj;
-    let mut body = |i: usize, j: usize, k: usize| {
+    visit(n, nk, schedule, |i, j, k| {
         let idx = (i + j * di + k * ps) as i64;
         let at = |off: i64| ((idx + off) * 8) as u64;
         // A(i) then A(i-1): a descending 2-run in source order.
@@ -172,12 +182,7 @@ pub fn trace<S: AccessSink>(
         sink.read(at(-(ps as i64)));
         sink.read(at(ps as i64));
         sink.write(at(0));
-    };
-    match schedule {
-        Schedule::Naive => visit_naive(n, nk, &mut body),
-        Schedule::Fused => visit_fused(n, nk, &mut body),
-        Schedule::Tiled(t) => visit_tiled(n, nk, t, &mut body),
-    }
+    });
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ fn flag(args: &[String], key: &str, default: usize) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let kernel = match args.first().map(|s| s.as_str()) {
+    let kernel = match args.first().map(String::as_str) {
         Some("redblack") => Kernel::RedBlack,
         Some("resid") => Kernel::Resid,
         _ => Kernel::Jacobi,

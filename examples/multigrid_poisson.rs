@@ -16,10 +16,7 @@ fn main() {
     let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let m = 1usize << levels;
 
-    println!(
-        "multigrid Poisson solve: finest grid {m}^3 ({} levels), {iters} V-cycles",
-        levels
-    );
+    println!("multigrid Poisson solve: finest grid {m}^3 ({levels} levels), {iters} V-cycles");
 
     // Transform the finest level like the paper: GcdPad tile + padding.
     let g = gcd_pad(
@@ -50,10 +47,10 @@ fn main() {
     println!("\n{:>6} {:>14}", "cycle", "residual L2");
     let norms = solver.solve(iters);
     for (i, n) in norms.iter().enumerate() {
-        println!("{:>6} {:>14.6e}", i, n);
+        println!("{i:>6} {n:>14.6e}");
     }
     let final_norm = solver.residual_norm();
-    println!("{:>6} {:>14.6e}", iters, final_norm);
+    println!("{iters:>6} {final_norm:>14.6e}");
     assert!(
         final_norm < norms[0] * 1e-3,
         "V-cycles should reduce the residual by orders of magnitude"

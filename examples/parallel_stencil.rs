@@ -19,7 +19,7 @@ fn main() {
     let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(256);
     let nk: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let cores = std::thread::available_parallelism()
-        .map(|p| p.get())
+        .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
     let p = plan(

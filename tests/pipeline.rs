@@ -95,11 +95,18 @@ fn loop_ir_reproduces_kernel_misses_for_tiled_jacobi() {
             base: (di * dj * nk * 8) as u64,
             di,
             dj,
+            dk: nk,
         }, // B after A
-        ArrayDesc { base: 0, di, dj }, // A
+        ArrayDesc {
+            base: 0,
+            di,
+            dj,
+            dk: nk,
+        }, // A
     ];
     let mut h2 = Hierarchy::ultrasparc2();
-    nest.execute(&arrays, &mut h2);
+    nest.execute_checked(&arrays, &mut h2)
+        .expect("tiled jacobi nest passes the IR verifier");
 
     assert_eq!(h1.l1_stats(), h2.l1_stats());
     assert_eq!(h1.l2_stats(), h2.l2_stats());
@@ -145,20 +152,24 @@ fn resid_ir_trace_is_a_permutation_of_kernel_trace() {
             base: 0,
             di: n,
             dj: n,
+            dk: nk,
         },
         ArrayDesc {
             base: bytes,
             di: n,
             dj: n,
+            dk: nk,
         },
         ArrayDesc {
             base: 2 * bytes,
             di: n,
             dj: n,
+            dk: nk,
         },
     ];
     let mut d2 = DistinctLineCounter::new(32);
-    nest.execute(&arrays, &mut d2);
+    nest.execute_checked(&arrays, &mut d2)
+        .expect("resid nest passes the IR verifier");
 
     assert_eq!(d1.accesses, d2.accesses);
     assert_eq!(d1.distinct_lines(), d2.distinct_lines());
