@@ -12,12 +12,29 @@
 
 use std::time::Instant;
 
-use tiling3d_bench::{cli, SimPool};
+use tiling3d_bench::{driver, SimPool};
 use tiling3d_cachesim::{CacheConfig, Hierarchy, ReplacementPolicy, WritePolicy};
 use tiling3d_core::{plan, CacheSpec, Transform};
 use tiling3d_grid::{fill_random, Array3};
 use tiling3d_loopnest::TileDims;
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
+
+fn flag_set() -> FlagSet {
+    FlagSet::new(
+        "ablation",
+        "beyond-the-paper ablations (DESIGN.md section 7)",
+        Some((
+            "mode",
+            "assoc|line|write|atd|threads|crossinterf|tlb|copyopt|effcache|threec (default assoc)",
+        )),
+        &[
+            FlagSpec::usize("--n", Some("300"), "problem size N (NxNxNK grids)"),
+            FlagSpec::usize("--nk", Some("30"), "third-dimension extent"),
+            FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
+        ],
+    )
+}
 
 fn simulate(kernel: Kernel, n: usize, nk: usize, t: Transform, l1: CacheConfig) -> f64 {
     let p = plan(
@@ -355,11 +372,11 @@ fn threec_sweep(n: usize, nk: usize, pool: &SimPool) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let n = cli::flag(&args, "--n", 300usize);
-    let nk = cli::flag(&args, "--nk", 30usize);
-    let which = cli::positional(&args).unwrap_or_else(|| "assoc".into());
-    let pool = SimPool::new(cli::jobs(&args));
+    let flags = driver::parse_or_exit(&flag_set());
+    let n = flags.usize("--n");
+    let nk = flags.usize("--nk");
+    let which = flags.positional().unwrap_or("assoc").to_string();
+    let pool = SimPool::new(flags.usize("--jobs"));
     // Exercise the LRU replacement path so the enum is used meaningfully.
     let _ = ReplacementPolicy::Lru;
     match which.as_str() {
@@ -373,8 +390,12 @@ fn main() {
         "copyopt" => copyopt_sweep(n, nk, &pool),
         "effcache" => effcache_sweep(n, nk, &pool),
         "threec" => threec_sweep(n, nk, &pool),
-        other => eprintln!(
-            "unknown ablation '{other}': use assoc|line|write|atd|threads|crossinterf|tlb|copyopt|effcache|threec"
-        ),
+        other => {
+            eprintln!(
+                "unknown ablation '{other}': use assoc|line|write|atd|threads|crossinterf|tlb|copyopt|effcache|threec"
+            );
+            std::process::exit(2);
+        }
     }
+    driver::finish();
 }

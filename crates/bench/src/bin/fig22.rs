@@ -7,19 +7,26 @@
 //! cargo run -p tiling3d-bench --bin fig22 [-- --step 8 --csv]
 //! ```
 
-use tiling3d_bench::{cli, plan_for, SweepConfig};
+use tiling3d_bench::{driver, plan_for, SweepConfig};
 use tiling3d_core::{memory_overhead_pct, Transform};
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
+fn flag_set() -> FlagSet {
+    let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.push(FlagSpec::switch("--csv", "emit CSV instead of a table"));
+    FlagSet::new(
+        "fig22",
+        "memory increase from padding, JACOBI (Fig 22)",
+        None,
+        &flags,
+    )
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = SweepConfig {
-        step: cli::flag(&args, "--step", 8usize),
-        nk: cli::flag(&args, "--nk", 30usize),
-        jobs: cli::jobs(&args),
-        ..Default::default()
-    };
-    let csv = cli::switch(&args, "--csv");
+    let flags = driver::parse_or_exit(&flag_set());
+    let cfg = SweepConfig::from_flags(&flags);
+    let csv = flags.switch("--csv");
 
     println!(
         "Fig 22: JACOBI memory increase from padding (%), NxNx{} arrays",
@@ -82,4 +89,5 @@ fn main() {
     );
     println!("paper reference: GcdPad 14.7%, Pad 4.7% (cubic K: ~1.4% and ~0.5%)");
     println!("note: the K dimension is never padded, so overhead scales with 1/K.");
+    driver::finish();
 }

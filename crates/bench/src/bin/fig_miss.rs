@@ -10,22 +10,38 @@
 //! cargo run --release -p tiling3d-bench --bin fig_miss -- jacobi [--min 200 --max 400 --step 8 --l2 --csv]
 //! ```
 
-use tiling3d_bench::{cli, run_miss_sweeps, SweepConfig};
+use tiling3d_bench::{driver, run_miss_sweeps, SweepConfig};
 use tiling3d_core::Transform;
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
+fn flag_set() -> FlagSet {
+    let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.push(FlagSpec::switch("--csv", "emit CSV instead of a table"));
+    flags.push(FlagSpec::switch(
+        "--l2",
+        "also print the L2 miss-rate table",
+    ));
+    flags.push(FlagSpec::switch("--plot", "render an ASCII plot"));
+    FlagSet::new(
+        "fig_miss",
+        "per-size L1/L2 miss rates per kernel (Figs 14/16/18/20)",
+        Some(("kernel", "jacobi | redblack | resid (default jacobi)")),
+        &flags,
+    )
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let kernel = cli::kernel(&args).unwrap_or(Kernel::Jacobi);
-    let cfg = SweepConfig {
-        n_min: cli::flag(&args, "--min", 200usize),
-        n_max: cli::flag(&args, "--max", 400usize),
-        step: cli::flag(&args, "--step", 8usize),
-        nk: cli::flag(&args, "--nk", 30usize),
-        jobs: cli::jobs(&args),
-        ..Default::default()
+    let flags = driver::parse_or_exit(&flag_set());
+    let kernel = match flags.positional() {
+        None => Kernel::Jacobi,
+        Some(s) => s.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
     };
-    let csv = cli::switch(&args, "--csv");
+    let cfg = SweepConfig::from_flags(&flags);
+    let csv = flags.switch("--csv");
     let transforms = Transform::ALL;
 
     let fig = match (kernel, cfg.n_max > 450) {
@@ -44,12 +60,13 @@ fn main() {
     );
     let (l1, l2, _) = run_miss_sweeps(&cfg, kernel, &transforms);
     l1.print(csv);
-    if cli::switch(&args, "--plot") {
+    if flags.switch("--plot") {
         println!("\n{}", tiling3d_bench::plot::render(&l1, 6));
     }
 
-    if cli::switch(&args, "--l2") {
+    if flags.switch("--l2") {
         println!("\n{fig}: {} L2 miss rates (%)", kernel.name());
         l2.print(csv);
     }
+    driver::finish();
 }

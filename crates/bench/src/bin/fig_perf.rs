@@ -11,23 +11,38 @@
 //! cargo run --release -p tiling3d-bench --bin fig_perf -- redblack [--min 200 --max 400 --step 8 --reps 3 --csv]
 //! ```
 
-use tiling3d_bench::{cli, run_sweep, Metric, SweepConfig};
+use tiling3d_bench::{driver, run_sweep, Metric, SweepConfig};
 use tiling3d_core::Transform;
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
+fn flag_set() -> FlagSet {
+    let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.push(FlagSpec::switch("--csv", "emit CSV instead of a table"));
+    flags.push(FlagSpec::switch(
+        "--modeled",
+        "model MFlops from simulated misses instead of wall-clock",
+    ));
+    flags.push(FlagSpec::switch("--plot", "render an ASCII plot"));
+    FlagSet::new(
+        "fig_perf",
+        "per-size MFlops per kernel (Figs 15/17/19/21)",
+        Some(("kernel", "jacobi | redblack | resid (default jacobi)")),
+        &flags,
+    )
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let kernel = cli::kernel(&args).unwrap_or(Kernel::Jacobi);
-    let cfg = SweepConfig {
-        n_min: cli::flag(&args, "--min", 200usize),
-        n_max: cli::flag(&args, "--max", 400usize),
-        step: cli::flag(&args, "--step", 8usize),
-        nk: cli::flag(&args, "--nk", 30usize),
-        reps: cli::flag(&args, "--reps", 3usize),
-        jobs: cli::jobs(&args),
-        ..Default::default()
+    let flags = driver::parse_or_exit(&flag_set());
+    let kernel = match flags.positional() {
+        None => Kernel::Jacobi,
+        Some(s) => s.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
     };
-    let csv = cli::switch(&args, "--csv");
+    let cfg = SweepConfig::from_flags(&flags);
+    let csv = flags.switch("--csv");
 
     let fig = match (kernel, cfg.n_max > 450) {
         (Kernel::Jacobi, _) => "Fig 15",
@@ -43,7 +58,7 @@ fn main() {
         cfg.step,
         cfg.nk
     );
-    let metric = if cli::switch(&args, "--modeled") {
+    let metric = if flags.switch("--modeled") {
         Metric::ModeledMFlops
     } else {
         Metric::MFlops
@@ -55,7 +70,8 @@ fn main() {
     }
     let perf = run_sweep(&cfg, kernel, &Transform::ALL, metric);
     perf.print(csv);
-    if cli::switch(&args, "--plot") {
+    if flags.switch("--plot") {
         println!("\n{}", tiling3d_bench::plot::render(&perf, 6));
     }
+    driver::finish();
 }

@@ -14,10 +14,25 @@
 //! The timed V-cycles always run sequentially (they are the measurement);
 //! `--jobs` shards only the closing cache simulations.
 
-use tiling3d_bench::{cli, SimPool};
+use tiling3d_bench::{driver, SimPool};
 use tiling3d_core::{gcd_pad, CacheSpec};
 use tiling3d_loopnest::{StencilShape, TileDims};
 use tiling3d_multigrid::{MgConfig, MgSolver};
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
+
+fn flag_set() -> FlagSet {
+    FlagSet::new(
+        "mgrid",
+        "MGRID whole-application experiment (Section 4.6)",
+        None,
+        &[
+            FlagSpec::usize("--levels", Some("7"), "multigrid levels (7 = 128^3 finest)"),
+            FlagSpec::usize("--iters", Some("4"), "timed V-cycles"),
+            FlagSpec::switch("--tile-psinv", "also tile PSINV at the finest level"),
+            FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
+        ],
+    )
+}
 
 fn run(cfg: MgConfig, iters: usize, label: &str) -> (f64, MgSolver) {
     let mut s = MgSolver::new(cfg);
@@ -42,11 +57,11 @@ fn run(cfg: MgConfig, iters: usize, label: &str) -> (f64, MgSolver) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let levels = cli::flag(&args, "--levels", 7usize);
-    let iters = cli::flag(&args, "--iters", 4usize);
-    let tile_psinv = cli::switch(&args, "--tile-psinv");
-    let pool = SimPool::new(cli::jobs(&args));
+    let flags = driver::parse_or_exit(&flag_set());
+    let levels = flags.usize("--levels");
+    let iters = flags.usize("--iters");
+    let tile_psinv = flags.switch("--tile-psinv");
+    let pool = SimPool::new(flags.usize("--jobs"));
 
     let m = 1usize << levels;
     println!(
@@ -127,4 +142,5 @@ fn main() {
          whole-application gain; a modern host with a large L3 + prefetchers shows\n\
          wall-clock parity instead — see EXPERIMENTS.md)"
     );
+    driver::finish();
 }

@@ -9,12 +9,25 @@
 //! the whole report under a couple of minutes. For full per-figure data
 //! use the dedicated binaries (`table3`, `fig_miss`, ...).
 
-use tiling3d_bench::{cli, run_miss_sweeps, SweepConfig};
+use tiling3d_bench::{driver, run_miss_sweeps, SweepConfig};
 use tiling3d_cachesim::ThreeC;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::{euc3d, gcd_pad, memory_overhead_pct, plan, CacheSpec, Transform};
 use tiling3d_loopnest::{reuse, StencilShape};
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
+
+fn flag_set() -> FlagSet {
+    FlagSet::new(
+        "report",
+        "compact paper-vs-measured summary of every experiment",
+        None,
+        &[
+            FlagSpec::usize("--step", Some("16"), "sweep stride over N = 200..400"),
+            FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
+        ],
+    )
+}
 
 fn check(name: &str, ok: bool, detail: &str) {
     println!(
@@ -26,8 +39,8 @@ fn check(name: &str, ok: bool, detail: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let step = cli::flag(&args, "--step", 16usize);
+    let flags = driver::parse_or_exit(&flag_set());
+    let step = flags.usize("--step");
     let cache = CacheSpec::ELEMENTS_16K_DOUBLES;
     println!("tiling3d reproduction report (sweep stride {step})\n");
 
@@ -72,7 +85,7 @@ fn main() {
     println!("\nmiss-rate sweeps (N = 200..400 step {step}, NxNx30, UltraSparc2 caches):");
     let cfg = SweepConfig {
         step,
-        jobs: cli::jobs(&args),
+        jobs: flags.usize("--jobs"),
         ..Default::default()
     };
     for kernel in Kernel::ALL {
@@ -132,4 +145,5 @@ fn main() {
     }
 
     println!("\nsee EXPERIMENTS.md for the full record and the wall-clock discussion.");
+    driver::finish();
 }

@@ -5,17 +5,32 @@
 //! cargo run -p tiling3d-bench --bin table1 [-- --di 200 --dj 200 --cache 2048 --tkmax 4]
 //! ```
 
-use tiling3d_bench::cli;
+use tiling3d_bench::driver;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::{euc3d, CacheSpec};
 use tiling3d_loopnest::StencilShape;
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
+
+fn flag_set() -> FlagSet {
+    FlagSet::new(
+        "table1",
+        "Euc3D non-conflicting tiles, 200x200xM / 16K cache (Table 1)",
+        None,
+        &[
+            FlagSpec::usize("--di", Some("200"), "leading array dimension"),
+            FlagSpec::usize("--dj", Some("200"), "middle array dimension"),
+            FlagSpec::usize("--cache", Some("2048"), "cache capacity in elements"),
+            FlagSpec::usize("--tkmax", Some("4"), "largest array-tile depth to list"),
+        ],
+    )
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let di = cli::flag(&args, "--di", 200usize);
-    let dj = cli::flag(&args, "--dj", 200usize);
-    let cache = cli::flag(&args, "--cache", 2048usize);
-    let tk_max = cli::flag(&args, "--tkmax", 4usize);
+    let flags = driver::parse_or_exit(&flag_set());
+    let di = flags.usize("--di");
+    let dj = flags.usize("--dj");
+    let cache = flags.usize("--cache");
+    let tk_max = flags.usize("--tkmax");
 
     println!("Table 1: non-conflicting array tiles ({di}x{dj}xM array, {cache}-element cache)");
     let tiles = enumerate_array_tiles(cache, di, dj, tk_max);
@@ -52,4 +67,5 @@ fn main() {
         sel.cost
     );
     println!("paper reference: (22, 13) from TK=3 TJ=15 TI=24 for the default arguments");
+    driver::finish();
 }

@@ -13,22 +13,29 @@
 //! `--jobs $(nproc)` (the default) to shard the simulations across cores.
 //! Miss rates are bit-identical for every `--jobs` value.
 
-use tiling3d_bench::{cli, run_miss_sweeps, run_sweep, Metric, SweepConfig};
+use tiling3d_bench::{driver, run_miss_sweeps, run_sweep, Metric, SweepConfig};
 use tiling3d_core::Transform;
+use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
+fn flag_set() -> FlagSet {
+    let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.push(FlagSpec::switch(
+        "--no-perf",
+        "skip the wall-clock MFlops rows",
+    ));
+    FlagSet::new(
+        "table3",
+        "average perf + miss-rate improvements, N = 200-400 (Table 3)",
+        None,
+        &flags,
+    )
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = SweepConfig {
-        n_min: cli::flag(&args, "--min", 200usize),
-        n_max: cli::flag(&args, "--max", 400usize),
-        step: cli::flag(&args, "--step", 8usize),
-        nk: cli::flag(&args, "--nk", 30usize),
-        reps: cli::flag(&args, "--reps", 3usize),
-        jobs: cli::jobs(&args),
-        ..Default::default()
-    };
-    let with_perf = !cli::switch(&args, "--no-perf");
+    let flags = driver::parse_or_exit(&flag_set());
+    let cfg = SweepConfig::from_flags(&flags);
+    let with_perf = !flags.switch("--no-perf");
 
     println!("Table 2 (taxonomy):");
     println!("  Orig      no tiling             no padding");
@@ -109,4 +116,5 @@ fn main() {
     println!("  JACOBI   % perf 13/10/16/17/-1   L1 1.9/3.7/4.8/5.1/1.6   L2 0.7/0.7/0.7/0.7/-0.2");
     println!("  REDBLACK % perf 89/74/120/121/10 L1 6.3/9.3/12.5/12.6/2.8 L2 2.0/1.8/2.0/2.0/-0.5");
     println!("  RESID    % perf 16/17/27/24/4    L1 1.9/2.5/4.7/4.7/2.2   L2 0.3/0.3/0.3/0.3/0.0");
+    driver::finish();
 }

@@ -10,11 +10,23 @@
 //! cargo run --release -p tiling3d-bench --bin twod_argument
 //! ```
 
+use tiling3d_bench::driver;
 use tiling3d_cachesim::{Cache, CacheConfig, Hierarchy};
 use tiling3d_loopnest::{reuse, StencilShape};
+use tiling3d_obs::flags::FlagSet;
 use tiling3d_stencil::{jacobi2d, jacobi3d};
 
+fn flag_set() -> FlagSet {
+    FlagSet::new(
+        "twod_argument",
+        "why 2D stencils don't need tiling (Section 1)",
+        None,
+        &[],
+    )
+}
+
 fn main() {
+    let _flags = driver::parse_or_exit(&flag_set());
     let j2 = StencilShape::jacobi2d();
     let j3 = StencilShape::jacobi3d();
     let l1e = CacheConfig::ULTRASPARC2_L1.capacity_elements();
@@ -70,4 +82,5 @@ fn main() {
          pathologies); 3D rates jump right after N = 32 — reuse across the K loop\n\
          dies when two planes no longer fit, which is what the paper's tiling restores."
     );
+    driver::finish();
 }

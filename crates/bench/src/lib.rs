@@ -30,6 +30,8 @@ use std::time::Instant;
 pub use pool::SimPool;
 use tiling3d_cachesim::{CacheConfig, Hierarchy, Throughput, ThroughputTimer};
 use tiling3d_core::{CacheSpec, Transform, TransformPlan};
+use tiling3d_obs as obs;
+use tiling3d_obs::flags::{FlagSpec, ParsedFlags};
 use tiling3d_stencil::kernels::Kernel;
 
 /// Simulation / measurement configuration for one sweep.
@@ -72,6 +74,36 @@ impl Default for SweepConfig {
 }
 
 impl SweepConfig {
+    /// The shared sweep flags every driver declares (append per-driver
+    /// extras when building a
+    /// [`FlagSet`](tiling3d_obs::flags::FlagSet)). Defaults mirror
+    /// [`SweepConfig::default`].
+    pub const FLAGS: &'static [FlagSpec] = &[
+        FlagSpec::usize("--min", Some("200"), "smallest plane extent N (inclusive)"),
+        FlagSpec::usize("--max", Some("400"), "largest plane extent N (inclusive)"),
+        FlagSpec::usize("--step", Some("8"), "step between successive N"),
+        FlagSpec::usize("--nk", Some("30"), "third-dimension extent"),
+        FlagSpec::usize("--reps", Some("3"), "timed repetitions per MFlops point"),
+        FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
+    ];
+
+    /// Builds a sweep config from parsed flags, reading whichever of the
+    /// shared sweep flags the command declared (undeclared ones keep the
+    /// [`SweepConfig::default`] value).
+    pub fn from_flags(flags: &ParsedFlags) -> Self {
+        let d = SweepConfig::default();
+        let get = |name: &str, fallback: usize| flags.opt_usize(name).unwrap_or(fallback);
+        SweepConfig {
+            n_min: get("--min", d.n_min),
+            n_max: get("--max", d.n_max),
+            step: get("--step", d.step),
+            nk: get("--nk", d.nk),
+            reps: get("--reps", d.reps),
+            jobs: get("--jobs", d.jobs),
+            ..d
+        }
+    }
+
     /// The `N` values this sweep visits.
     pub fn sizes(&self) -> Vec<usize> {
         (self.n_min..=self.n_max)
@@ -122,11 +154,23 @@ pub struct SimPoint {
 /// Simulates one kernel sweep under the given transformation, returning
 /// L1/L2 miss rates and the modeled MFlops in a single pass.
 pub fn simulate(cfg: &SweepConfig, kernel: Kernel, t: Transform, n: usize) -> SimPoint {
+    let span = if obs::collecting() {
+        let s = obs::span(&format!("simulate:{}:{}", kernel.name(), t.name()));
+        s.add("n", n as u64);
+        Some(s)
+    } else {
+        None
+    };
     let p = plan_for(cfg, kernel, t, n);
     let mut h = Hierarchy::new(cfg.l1, cfg.l2);
     let timer = ThroughputTimer::start();
     kernel.trace(n, cfg.nk, p.padded_di, p.padded_dj, p.tile, &mut h);
     let sim = timer.stop(h.l1_stats().accesses);
+    if let Some(s) = &span {
+        s.add("accesses", h.l1_stats().accesses);
+        h.fold_obs_metrics();
+        sim.fold_obs_metrics();
+    }
     let cycles = h.l1_stats().accesses + 10 * h.l1_stats().misses + 60 * h.l2_stats().misses;
     SimPoint {
         l1_pct: h.l1_miss_rate_pct(),
@@ -153,20 +197,19 @@ pub fn simulate_grid(
         .collect();
     let pool = cfg.pool();
     let total = points.len();
+    let _span = if obs::collecting() {
+        let s = obs::span(&format!("sweep:{}", kernel.name()));
+        s.add("points", total as u64);
+        Some(s)
+    } else {
+        None
+    };
+    let label = format!("{} simulate", kernel.name());
     let flat = pool.map_with_progress(
         &points,
         |&(n, t)| simulate(cfg, kernel, t, n),
-        |done| {
-            eprint!(
-                "\r  {} simulate [{} jobs] {done}/{total}   ",
-                kernel.name(),
-                pool.jobs()
-            );
-        },
+        |done| obs::progress(&label, done as u64, total as u64),
     );
-    if total > 0 {
-        eprintln!();
-    }
     let mut tp = Throughput::default();
     for p in &flat {
         tp.merge(&p.sim);
@@ -309,16 +352,23 @@ pub fn run_sweep(
     let rows = if metric == Metric::MFlops {
         // Wall-clock measurement: always sequential so concurrent workers
         // can't perturb the timings.
+        let _span = if obs::collecting() {
+            Some(obs::span(&format!("measure:{}", kernel.name())))
+        } else {
+            None
+        };
+        let label = format!("{} {name}", kernel.name());
+        let sizes = cfg.sizes();
+        let total = sizes.len() as u64;
         let mut rows = Vec::new();
-        for n in cfg.sizes() {
-            eprint!("\r  {} {} N={n}   ", kernel.name(), name);
+        for (i, n) in sizes.into_iter().enumerate() {
             let vals = transforms
                 .iter()
                 .map(|&t| measure_mflops(cfg, kernel, t, n))
                 .collect();
             rows.push((n, vals));
+            obs::progress(&label, i as u64 + 1, total);
         }
-        eprintln!();
         rows
     } else {
         let (grid, _) = simulate_grid(cfg, kernel, transforms);
@@ -351,7 +401,7 @@ pub fn run_miss_sweeps(
     transforms: &[Transform],
 ) -> (SweepResult, SweepResult, SweepResult) {
     let (grid, tp) = simulate_grid(cfg, kernel, transforms);
-    eprintln!("  engine: {}", tp.summary());
+    obs::info(&format!("engine: {}", tp.summary()));
     let mut rows1 = Vec::new();
     let mut rows2 = Vec::new();
     let mut rows3 = Vec::new();
@@ -379,56 +429,38 @@ pub fn run_miss_sweeps(
     )
 }
 
-/// Minimal CLI helpers shared by the harness binaries (no external
-/// dependency: flags are `--key value` pairs plus positional words).
-pub mod cli {
-    /// Returns the value following `--key`, parsed, or `default`.
-    pub fn flag<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
-        args.iter()
-            .position(|a| a == key)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
+/// Shared driver plumbing: every bench binary parses its command line
+/// through a [`FlagSet`](tiling3d_obs::flags::FlagSet) built from
+/// [`SweepConfig::FLAGS`] plus its own extras, then initialises the
+/// observability layer from the auto-appended obs flags.
+pub mod driver {
+    use tiling3d_obs as obs;
+    use tiling3d_obs::flags::{FlagSet, ParsedFlags};
 
-    /// True when the bare switch `--key` is present.
-    pub fn switch(args: &[String], key: &str) -> bool {
-        args.iter().any(|a| a == key)
-    }
-
-    /// Parses `--jobs N`; `0` (or an absent flag) means one simulation
-    /// worker per available core.
-    pub fn jobs(args: &[String]) -> usize {
-        flag(args, "--jobs", 0usize)
-    }
-
-    /// First positional (non-flag) argument, lowercased.
-    pub fn positional(args: &[String]) -> Option<String> {
-        let mut skip = false;
-        for a in args {
-            if skip {
-                skip = false;
-                continue;
+    /// Parses `argv[1..]` against `set`; on error prints the message (which
+    /// embeds the auto-generated usage) and exits with status 2. Then
+    /// initialises the observability layer from the obs flags.
+    pub fn parse_or_exit(set: &FlagSet) -> ParsedFlags {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        match parse_and_init(set, &raw) {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
-            if let Some(stripped) = a.strip_prefix("--") {
-                // Bare switches take no value; our only bare switch is csv.
-                skip = stripped != "csv";
-                continue;
-            }
-            return Some(a.to_lowercase());
         }
-        None
     }
 
-    /// Parses a kernel name.
-    pub fn kernel(args: &[String]) -> Option<tiling3d_stencil::kernels::Kernel> {
-        use tiling3d_stencil::kernels::Kernel;
-        match positional(args)?.as_str() {
-            "jacobi" => Some(Kernel::Jacobi),
-            "redblack" | "red-black" | "rb" => Some(Kernel::RedBlack),
-            "resid" | "mgrid" => Some(Kernel::Resid),
-            _ => None,
-        }
+    /// Non-exiting core of [`parse_or_exit`], for tests.
+    pub fn parse_and_init(set: &FlagSet, raw: &[String]) -> Result<ParsedFlags, String> {
+        let flags = set.parse(raw)?;
+        obs::init(obs::ObsConfig::from_flags(&flags)?)?;
+        Ok(flags)
+    }
+
+    /// Flushes the observability layer at driver exit.
+    pub fn finish() {
+        let _ = obs::shutdown();
     }
 }
 
@@ -482,19 +514,35 @@ mod tests {
     }
 
     #[test]
-    fn cli_parsing() {
+    fn sweep_config_from_flags() {
+        use tiling3d_obs::flags::{FlagSet, FlagSpec};
+        let set = FlagSet::new("demo", "demo driver", Some(("kernel", "which kernel")), &{
+            let mut f = SweepConfig::FLAGS.to_vec();
+            f.push(FlagSpec::switch("--csv", "emit csv"));
+            f
+        });
         let args: Vec<String> = ["resid", "--min", "400", "--csv"]
             .iter()
             .map(ToString::to_string)
             .collect();
-        assert_eq!(cli::flag(&args, "--min", 0usize), 400);
-        assert_eq!(cli::flag(&args, "--max", 7usize), 7);
-        assert!(cli::switch(&args, "--csv"));
-        assert_eq!(cli::kernel(&args), Some(Kernel::Resid));
-        let args2: Vec<String> = ["--min", "10", "jacobi"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
-        assert_eq!(cli::kernel(&args2), Some(Kernel::Jacobi));
+        let flags = set.parse(&args).unwrap();
+        let cfg = SweepConfig::from_flags(&flags);
+        assert_eq!(cfg.n_min, 400);
+        assert_eq!(cfg.n_max, 400); // declared default
+        assert_eq!(cfg.nk, 30);
+        assert!(flags.switch("--csv"));
+        assert_eq!(
+            flags.positional().unwrap().parse::<Kernel>().unwrap(),
+            Kernel::Resid
+        );
+        // A config built from a set that declares only some sweep flags
+        // keeps defaults for the rest.
+        let tiny = FlagSet::new("t", "", None, &[FlagSpec::usize("--nk", Some("30"), "")]);
+        let cfg =
+            SweepConfig::from_flags(&tiny.parse(&["--nk".to_string(), "12".to_string()]).unwrap());
+        assert_eq!(cfg.nk, 12);
+        assert_eq!(cfg.n_min, SweepConfig::default().n_min);
+        // Unknown flags are hard errors now.
+        assert!(set.parse(&["--bogus".to_string()]).is_err());
     }
 }

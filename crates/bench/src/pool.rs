@@ -60,20 +60,56 @@ impl SimPool {
         F: Fn(&T) -> R + Sync,
     {
         let n = items.len();
+        // Pool + per-worker spans. Workers are all named "worker" (not
+        // worker-N) so the *set* of span names in a trace is identical for
+        // every jobs value; the per-worker `tasks` counters naturally vary,
+        // but their sum is always n.
+        let collecting = tiling3d_obs::collecting();
+        let pool_span = if collecting {
+            let s = tiling3d_obs::span("pool");
+            s.add("tasks", n as u64);
+            Some(s)
+        } else {
+            None
+        };
+        let pool_id = pool_span.as_ref().map_or(0, tiling3d_obs::Span::id);
         if self.jobs <= 1 || n <= 1 {
-            return items.iter().map(f).collect();
+            // Inline path still emits one worker span so traces have the
+            // same shape at --jobs 1.
+            let worker = if collecting {
+                Some(tiling3d_obs::span_at("worker", pool_id))
+            } else {
+                None
+            };
+            let out: Vec<R> = items.iter().map(f).collect();
+            if let Some(w) = &worker {
+                w.add("tasks", n as u64);
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for _ in 0..self.jobs.min(n) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let worker = if collecting {
+                        Some(tiling3d_obs::span_at("worker", pool_id))
+                    } else {
+                        None
+                    };
+                    let mut tasks = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(&items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                        tasks += 1;
                     }
-                    let r = f(&items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    if let Some(w) = &worker {
+                        w.add("tasks", tasks);
+                    }
                 });
             }
         });

@@ -97,6 +97,14 @@ impl Hierarchy {
     pub fn l2_local_miss_rate_pct(&self) -> f64 {
         self.l2.stats().miss_rate_pct()
     }
+
+    /// Folds both levels' stats into the global observability metrics as
+    /// `cachesim.l1.*` / `cachesim.l2.*` counters (no-op when the recorder
+    /// is off). Call once per simulated point, before `reset`.
+    pub fn fold_obs_metrics(&self) {
+        self.l1.stats().fold_obs_metrics("cachesim.l1");
+        self.l2.stats().fold_obs_metrics("cachesim.l2");
+    }
 }
 
 impl Hierarchy {

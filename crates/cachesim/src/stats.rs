@@ -49,6 +49,20 @@ impl AccessStats {
         self.write_misses += other.write_misses;
     }
 
+    /// Folds this stats block into the global observability metrics
+    /// registry as deterministic counters under `prefix` (no-op when the
+    /// recorder is off). Counters are jobs-invariant because the underlying
+    /// counts are — merging shard stats commutes.
+    pub fn fold_obs_metrics(&self, prefix: &str) {
+        if !tiling3d_obs::collecting() {
+            return;
+        }
+        tiling3d_obs::counter_add(&format!("{prefix}.accesses"), self.accesses);
+        tiling3d_obs::counter_add(&format!("{prefix}.misses"), self.misses);
+        tiling3d_obs::counter_add(&format!("{prefix}.read_misses"), self.read_misses);
+        tiling3d_obs::counter_add(&format!("{prefix}.write_misses"), self.write_misses);
+    }
+
     /// Records one access.
     #[inline]
     pub(crate) fn record(&mut self, is_write: bool, miss: bool) {
@@ -99,6 +113,18 @@ impl Throughput {
     pub fn merge(&mut self, other: &Throughput) {
         self.accesses += other.accesses;
         self.wall += other.wall;
+    }
+
+    /// Folds this measurement into the global observability metrics: the
+    /// access count as the deterministic counter `sim.accesses`, the wall
+    /// time as the gauge `sim.wall_us` (gauges are excluded from the
+    /// jobs-determinism comparison). No-op when the recorder is off.
+    pub fn fold_obs_metrics(&self) {
+        if !tiling3d_obs::collecting() {
+            return;
+        }
+        tiling3d_obs::counter_add("sim.accesses", self.accesses);
+        tiling3d_obs::gauge_add("sim.wall_us", self.wall.as_secs_f64() * 1e6);
     }
 
     /// Renders `12.3 Macc/s over 45.6 Maccesses` style summaries.

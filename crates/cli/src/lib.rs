@@ -1,17 +1,26 @@
 //! Command implementations for the `tiling3d` CLI.
 //!
-//! Each subcommand is a pure function from parsed arguments to a rendered
-//! `String`, so the whole surface is unit-testable without spawning
-//! processes; `main.rs` is a thin argv shim.
+//! Each subcommand declares its flag surface as a [`FlagSet`] (the shared
+//! typed flag API from `tiling3d-obs`) and implements a pure function from
+//! parsed flags to a rendered `String`, so the whole surface is
+//! unit-testable without spawning processes; `main.rs` is a thin argv shim.
 //!
 //! ```text
-//! tiling3d plan     --stencil jacobi3d --dims 341x341 [--cache-kb 16] [--line 32]
-//! tiling3d tiles    --di 200 --dj 200 [--cache 2048] [--tkmax 4]
-//! tiling3d advise   --stencil jacobi3d --n 300 [--cache-kb 16]
-//! tiling3d simulate --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N]
-//! tiling3d predict  --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
-//! tiling3d analyze  --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew]
+//! tiling3d plan        --stencil jacobi3d --dims 341x341 [--cache-kb 16]
+//! tiling3d tiles       --di 200 --dj 200 [--cache 2048] [--tkmax 4]
+//! tiling3d advise      --stencil jacobi3d --n 300 [--cache-kb 16]
+//! tiling3d simulate    --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N]
+//! tiling3d predict     --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
+//! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew]
+//! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl]
+//! tiling3d trace-check trace.jsonl [--schema schema.golden]
 //! ```
+//!
+//! Every command also accepts the auto-appended observability flags
+//! (`--log-level`, `--trace-out`, `--progress`, `--format`); `plan`,
+//! `tiles`, `advise` and `analyze` honour `--format json` with a
+//! machine-readable rendering. Unknown or malformed flags are hard errors
+//! (exit code 2 from the binary) carrying the auto-generated usage text.
 //!
 //! `simulate --transform all` replays every transformation's trace, one
 //! pool worker per transform (`--jobs 0` / default = all cores); the
@@ -23,145 +32,231 @@
 //! rectangular (unskewed) tiling of the fused red-black schedule, the
 //! known-illegal case, which the analyzer rejects with the broken distance
 //! vector as witness.
+//!
+//! `profile` runs the planning + simulation pipeline at a single size with
+//! collection forced on and prints the span tree with per-phase wall-clock
+//! percentages (plus the final metric registry); `trace-check` validates a
+//! JSONL trace file against the checked-in golden schema — the CI gate for
+//! trace-schema drift.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
-use tiling3d_bench::SimPool;
+use tiling3d_bench::{simulate_grid, SimPool, SweepConfig};
 use tiling3d_cachesim::{CacheConfig, Hierarchy};
 use tiling3d_core::legality::certificate_for;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
 use tiling3d_core::{plan, CacheSpec, Transform};
 use tiling3d_loopnest::{reuse, StencilShape};
+use tiling3d_obs as obs;
+use tiling3d_obs::flags::{FlagSet, FlagSpec, ParsedFlags};
+use tiling3d_obs::json::Json;
 use tiling3d_stencil::kernels::Kernel;
 
-/// Parsed `--key value` arguments plus the subcommand word.
-pub struct Args {
-    /// The subcommand (first positional argument).
-    pub command: String,
-    rest: Vec<String>,
+// ---------------------------------------------------------------------------
+// Command table
+// ---------------------------------------------------------------------------
+
+/// One dispatched subcommand: its name, flag declaration, and
+/// implementation. [`usage`] and [`run_argv`] are both derived from
+/// [`COMMANDS`], so the usage text, the parser, and the dispatcher cannot
+/// drift apart.
+pub struct CommandDef {
+    /// Subcommand word as typed on the command line.
+    pub name: &'static str,
+    /// The command's declared flag surface (obs flags auto-appended).
+    pub flag_set: fn() -> FlagSet,
+    /// The implementation: parsed flags to rendered output.
+    pub run: fn(&ParsedFlags) -> Result<String, String>,
 }
 
-impl Args {
-    /// Parses a raw argument list (without the program name).
-    pub fn parse(raw: &[String]) -> Result<Args, String> {
-        let command = raw.first().cloned().ok_or_else(usage)?;
-        Ok(Args {
-            command,
-            rest: raw[1..].to_vec(),
-        })
-    }
+/// Every dispatched subcommand, in usage order.
+pub const COMMANDS: &[CommandDef] = &[
+    CommandDef {
+        name: "plan",
+        flag_set: plan_flags,
+        run: cmd_plan,
+    },
+    CommandDef {
+        name: "tiles",
+        flag_set: tiles_flags,
+        run: cmd_tiles,
+    },
+    CommandDef {
+        name: "advise",
+        flag_set: advise_flags,
+        run: cmd_advise,
+    },
+    CommandDef {
+        name: "simulate",
+        flag_set: simulate_flags,
+        run: cmd_simulate,
+    },
+    CommandDef {
+        name: "predict",
+        flag_set: predict_flags,
+        run: cmd_predict,
+    },
+    CommandDef {
+        name: "analyze",
+        flag_set: analyze_flags,
+        run: cmd_analyze,
+    },
+    CommandDef {
+        name: "profile",
+        flag_set: profile_flags,
+        run: cmd_profile,
+    },
+    CommandDef {
+        name: "trace-check",
+        flag_set: trace_check_flags,
+        run: cmd_trace_check,
+    },
+];
 
-    fn get(&self, key: &str) -> Option<&str> {
-        self.rest
-            .iter()
-            .position(|a| a == key)
-            .and_then(|i| self.rest.get(i + 1))
-            .map(String::as_str)
-    }
-
-    fn num(&self, key: &str, default: usize) -> Result<usize, String> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("{key}: expected a number, got '{v}'")),
-        }
-    }
-
-    fn pair(&self, key: &str) -> Result<Option<(usize, usize)>, String> {
-        match self.get(key) {
-            None => Ok(None),
-            Some(v) => {
-                let (a, b) = v
-                    .split_once('x')
-                    .ok_or_else(|| format!("{key}: expected AxB, got '{v}'"))?;
-                Ok(Some((
-                    a.parse().map_err(|_| format!("{key}: bad number '{a}'"))?,
-                    b.parse().map_err(|_| format!("{key}: bad number '{b}'"))?,
-                )))
-            }
-        }
-    }
-
-    fn stencil(&self) -> Result<StencilShape, String> {
-        match self.get("--stencil").unwrap_or("jacobi3d") {
-            "jacobi3d" => Ok(StencilShape::jacobi3d()),
-            "jacobi2d" => Ok(StencilShape::jacobi2d()),
-            "redblack" | "redblack3d" => Ok(StencilShape::redblack3d_fused()),
-            "resid" | "resid27" => Ok(StencilShape::resid27()),
-            other => Err(format!("unknown stencil '{other}'")),
-        }
-    }
-
-    fn kernel(&self) -> Result<Kernel, String> {
-        match self.get("--kernel").unwrap_or("jacobi") {
-            "jacobi" => Ok(Kernel::Jacobi),
-            "redblack" => Ok(Kernel::RedBlack),
-            "resid" => Ok(Kernel::Resid),
-            other => Err(format!("unknown kernel '{other}'")),
-        }
-    }
-
-    fn transform(&self) -> Result<Transform, String> {
-        match self
-            .get("--transform")
-            .unwrap_or("pad")
-            .to_lowercase()
-            .as_str()
-        {
-            "orig" => Ok(Transform::Orig),
-            "tile" => Ok(Transform::Tile),
-            "euc3d" => Ok(Transform::Euc3D),
-            "gcdpad" => Ok(Transform::GcdPad),
-            "pad" => Ok(Transform::Pad),
-            "gcdpadnt" => Ok(Transform::GcdPadNT),
-            other => Err(format!("unknown transform '{other}'")),
-        }
-    }
-
-    fn cache_spec(&self) -> Result<CacheSpec, String> {
-        let kb = self.num("--cache-kb", 16)?;
-        Ok(CacheSpec::from_bytes(kb * 1024))
-    }
-
-    fn flag(&self, key: &str) -> bool {
-        self.rest.iter().any(|a| a == key)
-    }
-}
-
-/// Every dispatched subcommand, in usage order. [`usage`] and [`run`] are
-/// both derived from this list, so they cannot drift apart.
-pub const COMMANDS: [&str; 6] = ["plan", "tiles", "advise", "simulate", "predict", "analyze"];
-
-/// Usage string (also the error for a missing subcommand).
+/// Top-level usage: one line per subcommand, generated from [`COMMANDS`].
 pub fn usage() -> String {
-    format!(
-        "usage: tiling3d <{}> [--key value ...]\n\
-         see `cargo doc -p tiling3d-cli` for the full flag reference",
-        COMMANDS.join("|")
+    let mut out = String::from("usage: tiling3d <command> [--key value ...]\n\ncommands:\n");
+    let width = COMMANDS.iter().map(|c| c.name.len()).max().unwrap_or(0);
+    for c in COMMANDS {
+        let set = (c.flag_set)();
+        let _ = writeln!(out, "  {:width$}  {}", c.name, set.about);
+    }
+    out.push_str("\nrun `tiling3d <command> --help` for that command's flags");
+    out
+}
+
+/// Parses and dispatches a raw argument list (without the program name).
+/// Initialises the observability layer when the parsed obs flags ask for it
+/// (`profile` manages its own recorder — it forces collection on).
+pub fn run_argv(raw: &[String]) -> Result<String, String> {
+    let name = raw.first().ok_or_else(usage)?;
+    if name == "--help" || name == "-h" {
+        return Err(usage());
+    }
+    let cmd = COMMANDS
+        .iter()
+        .find(|c| c.name == *name)
+        .ok_or_else(|| format!("unknown command '{name}'\n{}", usage()))?;
+    let flags = (cmd.flag_set)().parse(&raw[1..])?;
+    let cfg = obs::ObsConfig::from_flags(&flags)?;
+    // Touch the process-global recorder only when the user asked for
+    // something (keeps parallel in-process tests independent).
+    let own_recorder = cmd.name != "profile" && (cfg.is_active() || cfg.log_level != 2);
+    if own_recorder {
+        obs::init(cfg)?;
+    }
+    let result = (cmd.run)(&flags);
+    if own_recorder {
+        obs::shutdown();
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Shared flag fragments and typed readers
+// ---------------------------------------------------------------------------
+
+const STENCIL_FLAG: FlagSpec = FlagSpec::str(
+    "--stencil",
+    Some("jacobi3d"),
+    "stencil shape: jacobi3d|jacobi2d|redblack|resid",
+);
+const KERNEL_FLAG: FlagSpec =
+    FlagSpec::str("--kernel", Some("jacobi"), "kernel: jacobi|redblack|resid");
+const CACHE_KB_FLAG: FlagSpec = FlagSpec::usize("--cache-kb", Some("16"), "cache capacity in KB");
+const LINE_FLAG: FlagSpec = FlagSpec::usize("--line", Some("32"), "cache line size in bytes");
+const NK_FLAG: FlagSpec = FlagSpec::usize("--nk", Some("30"), "third-dimension extent");
+const JOBS_FLAG: FlagSpec =
+    FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)");
+
+fn stencil(flags: &ParsedFlags) -> Result<StencilShape, String> {
+    flags.parse_str("--stencil")
+}
+
+fn kernel(flags: &ParsedFlags) -> Result<Kernel, String> {
+    flags.parse_str("--kernel")
+}
+
+fn cache_spec(flags: &ParsedFlags) -> CacheSpec {
+    CacheSpec::from_bytes(flags.usize("--cache-kb") * 1024)
+}
+
+/// Is `--format json` in effect? Rejects formats the tiling3d subcommands
+/// do not render (the bench drivers own `csv`).
+fn json_format(flags: &ParsedFlags) -> Result<bool, String> {
+    match flags.str("--format") {
+        "text" => Ok(false),
+        "json" => Ok(true),
+        other => Err(format!(
+            "--format: unsupported format '{other}' (expected text or json)"
+        )),
+    }
+}
+
+fn tile_json(tile: Option<(usize, usize)>) -> Json {
+    match tile {
+        None => Json::Null,
+        Some((a, b)) => Json::Arr(vec![Json::uint(a as u64), Json::uint(b as u64)]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// plan
+// ---------------------------------------------------------------------------
+
+fn plan_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d plan",
+        "tile + padding plan for every transformation",
+        None,
+        &[
+            STENCIL_FLAG,
+            FlagSpec::pair("--dims", "array dimensions DIxDJ (required)"),
+            CACHE_KB_FLAG,
+        ],
     )
 }
 
-/// Dispatches a parsed command.
-pub fn run(args: &Args) -> Result<String, String> {
-    match args.command.as_str() {
-        "plan" => cmd_plan(args),
-        "tiles" => cmd_tiles(args),
-        "advise" => cmd_advise(args),
-        "simulate" => cmd_simulate(args),
-        "predict" => cmd_predict(args),
-        "analyze" => cmd_analyze(args),
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+fn cmd_plan(flags: &ParsedFlags) -> Result<String, String> {
+    let shape = stencil(flags)?;
+    let (di, dj) = flags.try_pair("--dims").ok_or("plan requires --dims AxB")?;
+    let cache = cache_spec(flags);
+    let plans: Vec<_> = Transform::ALL
+        .iter()
+        .map(|&t| (t, plan(t, cache, di, dj, &shape)))
+        .collect();
+    if json_format(flags)? {
+        let rows = plans
+            .iter()
+            .map(|(t, p)| {
+                Json::obj(vec![
+                    ("transform", Json::str(t.name())),
+                    ("tile", tile_json(p.tile)),
+                    ("padded_di", Json::uint(p.padded_di as u64)),
+                    ("padded_dj", Json::uint(p.padded_dj as u64)),
+                    (
+                        "cost",
+                        if p.cost.is_finite() {
+                            Json::Num(p.cost)
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("stencil", Json::str(shape.name())),
+            ("di", Json::uint(di as u64)),
+            ("dj", Json::uint(dj as u64)),
+            ("cache_elements", Json::uint(cache.elements as u64)),
+            ("plans", Json::Arr(rows)),
+        ]);
+        return Ok(format!("{}\n", doc.render()));
     }
-}
-
-fn cmd_plan(args: &Args) -> Result<String, String> {
-    let shape = args.stencil()?;
-    let (di, dj) = args.pair("--dims")?.ok_or("plan requires --dims AxB")?;
-    let cache = args.cache_spec()?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -177,8 +272,7 @@ fn cmd_plan(args: &Args) -> Result<String, String> {
         "{:<10}{:>12}{:>16}{:>12}",
         "transform", "tile", "padded dims", "model cost"
     );
-    for t in Transform::ALL {
-        let p = plan(t, cache, di, dj, &shape);
+    for (t, p) in &plans {
         let _ = writeln!(
             out,
             "{:<10}{:>12}{:>16}{:>12}",
@@ -195,12 +289,49 @@ fn cmd_plan(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_tiles(args: &Args) -> Result<String, String> {
-    let di = args.num("--di", 200)?;
-    let dj = args.num("--dj", di)?;
-    let cache = args.num("--cache", 2048)?;
-    let tkmax = args.num("--tkmax", 4)?;
+// ---------------------------------------------------------------------------
+// tiles
+// ---------------------------------------------------------------------------
+
+fn tiles_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d tiles",
+        "maximal non-conflicting array tiles (Table 1)",
+        None,
+        &[
+            FlagSpec::usize("--di", Some("200"), "leading array dimension"),
+            FlagSpec::usize("--dj", None, "middle array dimension (default: --di)"),
+            FlagSpec::usize("--cache", Some("2048"), "cache capacity in elements"),
+            FlagSpec::usize("--tkmax", Some("4"), "largest array-tile depth to list"),
+        ],
+    )
+}
+
+fn cmd_tiles(flags: &ParsedFlags) -> Result<String, String> {
+    let di = flags.usize("--di");
+    let dj = flags.try_usize("--dj").unwrap_or(di);
+    let cache = flags.usize("--cache");
+    let tkmax = flags.usize("--tkmax");
     let tiles = enumerate_array_tiles(cache, di, dj, tkmax);
+    if json_format(flags)? {
+        let rows = tiles
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("tk", Json::uint(t.tk as u64)),
+                    ("tj", Json::uint(t.tj as u64)),
+                    ("ti", Json::uint(t.ti as u64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("di", Json::uint(di as u64)),
+            ("dj", Json::uint(dj as u64)),
+            ("cache_elements", Json::uint(cache as u64)),
+            ("tiles", Json::Arr(rows)),
+        ]);
+        return Ok(format!("{}\n", doc.render()));
+    }
     let mut out =
         format!("maximal non-conflicting array tiles, {di}x{dj}xM array, {cache}-element cache:\n");
     let _ = writeln!(out, "{:>4}{:>6}{:>6}", "TK", "TJ", "TI");
@@ -210,17 +341,44 @@ fn cmd_tiles(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_advise(args: &Args) -> Result<String, String> {
-    let shape = args.stencil()?;
-    let n = args.num("--n", 0)?;
+// ---------------------------------------------------------------------------
+// advise
+// ---------------------------------------------------------------------------
+
+fn advise_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d advise",
+        "does this stencil at this size still have cache reuse?",
+        None,
+        &[
+            STENCIL_FLAG,
+            FlagSpec::usize("--n", None, "problem size N (required)"),
+            CACHE_KB_FLAG,
+        ],
+    )
+}
+
+fn cmd_advise(flags: &ParsedFlags) -> Result<String, String> {
+    let shape = stencil(flags)?;
+    let n = flags.try_usize("--n").ok_or("advise requires --n")?;
     if n == 0 {
         return Err("advise requires --n".into());
     }
-    let cache = args.cache_spec()?;
+    let cache = cache_spec(flags);
+    let json = json_format(flags)?;
     let mut out = String::new();
     if shape.atd() == 1 {
         let bound = reuse::max_column_extent_2d(cache.elements, &shape);
         let verdict = reuse::advise_2d(cache.elements, &shape, n);
+        if json {
+            let doc = Json::obj(vec![
+                ("stencil", Json::str(shape.name())),
+                ("n", Json::uint(n as u64)),
+                ("reuse_bound", Json::uint(bound as u64)),
+                ("verdict", Json::str(format!("{verdict:?}"))),
+            ]);
+            return Ok(format!("{}\n", doc.render()));
+        }
         let _ = writeln!(
             out,
             "2D stencil {}: group reuse survives up to column length {bound}; \
@@ -230,13 +388,23 @@ fn cmd_advise(args: &Args) -> Result<String, String> {
     } else {
         let bound = reuse::max_plane_extent(cache.elements, &shape);
         let verdict = reuse::advise_3d(cache.elements, &shape, n);
+        let dist = reuse::k_reuse_distance(&shape, n, n);
+        if json {
+            let doc = Json::obj(vec![
+                ("stencil", Json::str(shape.name())),
+                ("n", Json::uint(n as u64)),
+                ("reuse_bound", Json::uint(bound as u64)),
+                ("verdict", Json::str(format!("{verdict:?}"))),
+                ("reuse_distance_elements", Json::uint(dist as u64)),
+            ]);
+            return Ok(format!("{}\n", doc.render()));
+        }
         let _ = writeln!(
             out,
             "3D stencil {}: K-loop reuse survives up to plane extent {bound}; \
              at N = {n}: {verdict:?}",
             shape.name()
         );
-        let dist = reuse::k_reuse_distance(&shape, n, n);
         let _ = writeln!(
             out,
             "reuse distance across K at N = {n}: {dist} elements ({} KB)",
@@ -246,24 +414,46 @@ fn cmd_advise(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_simulate(args: &Args) -> Result<String, String> {
-    let kernel = args.kernel()?;
-    let n = args.num("--n", 0)?;
+// ---------------------------------------------------------------------------
+// simulate
+// ---------------------------------------------------------------------------
+
+fn simulate_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d simulate",
+        "replay a kernel trace through the cache hierarchy",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--n", None, "problem size N (required, >= 3)"),
+            NK_FLAG,
+            CACHE_KB_FLAG,
+            LINE_FLAG,
+            FlagSpec::str(
+                "--transform",
+                Some("pad"),
+                "transformation (orig|tile|euc3d|gcdpad|pad|gcdpadnt|all)",
+            ),
+            JOBS_FLAG,
+        ],
+    )
+}
+
+fn cmd_simulate(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.try_usize("--n").unwrap_or(0);
     if n < 3 {
         return Err("simulate requires --n >= 3".into());
     }
-    let nk = args.num("--nk", 30)?;
-    let cache = args.cache_spec()?;
-    let l1 = CacheConfig::direct_mapped(cache.elements * 8, args.num("--line", 32)?);
+    let nk = flags.usize("--nk");
+    let cache = cache_spec(flags);
+    let l1 = CacheConfig::direct_mapped(cache.elements * 8, flags.usize("--line"));
     l1.validate()
         .map_err(|e| format!("bad cache geometry: {e}"))?;
-    if args
-        .get("--transform")
-        .is_some_and(|t| t.eq_ignore_ascii_case("all"))
-    {
-        return simulate_all(args, kernel, n, nk, cache, l1);
+    if flags.str("--transform").eq_ignore_ascii_case("all") {
+        return simulate_all(flags, kernel, n, nk, cache, l1);
     }
-    let t = args.transform()?;
+    let t: Transform = flags.parse_str("--transform")?;
     let p = plan(t, cache, n, n, &kernel.shape());
     let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
     kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
@@ -286,14 +476,14 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
 /// per pool worker. Transform order (and therefore output) is fixed;
 /// worker count only changes wall time.
 fn simulate_all(
-    args: &Args,
+    flags: &ParsedFlags,
     kernel: Kernel,
     n: usize,
     nk: usize,
     cache: CacheSpec,
     l1: CacheConfig,
 ) -> Result<String, String> {
-    let pool = SimPool::new(args.num("--jobs", 0)?);
+    let pool = SimPool::new(flags.usize("--jobs"));
     let rows = pool.map(&Transform::ALL, |&t| {
         let p = plan(t, cache, n, n, &kernel.shape());
         let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
@@ -324,21 +514,41 @@ fn simulate_all(
     Ok(out)
 }
 
-fn cmd_predict(args: &Args) -> Result<String, String> {
-    let kernel = args.kernel()?;
-    let n = args.num("--n", 0)?;
+// ---------------------------------------------------------------------------
+// predict
+// ---------------------------------------------------------------------------
+
+fn predict_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d predict",
+        "closed-form miss prediction (no simulation)",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--n", None, "problem size N (required, >= 3)"),
+            NK_FLAG,
+            CACHE_KB_FLAG,
+            LINE_FLAG,
+            FlagSpec::pair("--tile", "predict a TIxTJ-tiled sweep instead of untiled"),
+        ],
+    )
+}
+
+fn cmd_predict(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.try_usize("--n").unwrap_or(0);
     if n < 3 {
         return Err("predict requires --n >= 3".into());
     }
-    let nk = args.num("--nk", 30)?;
-    let cache = args.cache_spec()?;
-    let line = args.num("--line", 32)? / 8;
+    let nk = flags.usize("--nk");
+    let cache = cache_spec(flags);
+    let line = flags.usize("--line") / 8;
     let spec = match kernel {
         Kernel::Jacobi => SweepSpec::jacobi3d(),
         Kernel::RedBlack => SweepSpec::redblack_naive(),
         Kernel::Resid => SweepSpec::resid(),
     };
-    let pr = match args.pair("--tile")? {
+    let pr = match flags.try_pair("--tile") {
         None => predict_untiled(cache, line, &spec, n, nk, n, n),
         Some((ti, tj)) => predict_tiled(cache, line, &spec, n, nk, ti, tj),
     };
@@ -353,36 +563,97 @@ fn cmd_predict(args: &Args) -> Result<String, String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
+fn analyze_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d analyze",
+        "dependence-based legality certification",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--n", Some("200"), "problem size N"),
+            CACHE_KB_FLAG,
+            FlagSpec::str(
+                "--transform",
+                None,
+                "transformation to certify (default: all)",
+            ),
+            FlagSpec::switch(
+                "--no-skew",
+                "request the unskewed fused red-black tiling (known illegal)",
+            ),
+        ],
+    )
+}
+
 /// `analyze`: the legality analyzer. For each requested transform, plans
 /// it (which decides whether the executed schedule is tiled), certifies
 /// the schedule against the kernel's dependence set, and prints the full
 /// certificate: iteration-space dimensions, dependences, schedule steps,
 /// verdict. Any illegal schedule turns the whole invocation into an `Err`,
 /// so the process exits non-zero — the CI gate relies on this.
-fn cmd_analyze(args: &Args) -> Result<String, String> {
-    let kernel = args.kernel()?;
-    let n = args.num("--n", 200)?;
+fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.usize("--n");
     if n < 3 {
         return Err("analyze requires --n >= 3".into());
     }
-    let cache = args.cache_spec()?;
-    let skewed = !args.flag("--no-skew");
+    let cache = cache_spec(flags);
+    let skewed = !flags.switch("--no-skew");
     let discipline = kernel.discipline();
-    let transforms: Vec<Transform> = match args.get("--transform") {
+    let transforms: Vec<Transform> = match flags.try_str("--transform") {
         None => Transform::ALL.to_vec(),
         Some(t) if t.eq_ignore_ascii_case("all") => Transform::ALL.to_vec(),
-        Some(_) => vec![args.transform()?],
+        Some(t) => vec![t.parse()?],
     };
+    let certs: Vec<_> = transforms
+        .iter()
+        .map(|&t| {
+            let p = plan(t, cache, n, n, &kernel.shape());
+            let cert = certificate_for(&discipline, p.tile.is_some(), skewed);
+            (t, p, cert)
+        })
+        .collect();
+    let illegal: Vec<&str> = certs
+        .iter()
+        .filter(|(_, _, c)| !c.is_legal())
+        .map(|(t, _, _)| t.name())
+        .collect();
+    if json_format(flags)? {
+        let rows = certs
+            .iter()
+            .map(|(t, p, cert)| {
+                Json::obj(vec![
+                    ("transform", Json::str(t.name())),
+                    ("tile", tile_json(p.tile)),
+                    ("skewed", Json::Bool(skewed)),
+                    ("legal", Json::Bool(cert.is_legal())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("kernel", Json::str(kernel.name())),
+            ("n", Json::uint(n as u64)),
+            ("all_legal", Json::Bool(illegal.is_empty())),
+            ("schedules", Json::Arr(rows)),
+        ]);
+        let rendered = format!("{}\n", doc.render());
+        return if illegal.is_empty() {
+            Ok(rendered)
+        } else {
+            Err(rendered)
+        };
+    }
     let mut out = format!(
         "legality analysis: {} (discipline {:?}), {n}x{n} arrays, cache {} doubles\n",
         kernel.name(),
         discipline,
         cache.elements
     );
-    let mut illegal = Vec::new();
-    for t in transforms {
-        let p = plan(t, cache, n, n, &kernel.shape());
-        let cert = certificate_for(&discipline, p.tile.is_some(), skewed);
+    for (t, p, cert) in &certs {
         let _ = writeln!(
             out,
             "\n== {} / {} ({}) ==",
@@ -392,9 +663,6 @@ fn cmd_analyze(args: &Args) -> Result<String, String> {
                 .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
         );
         out.push_str(&cert.report());
-        if !cert.is_legal() {
-            illegal.push(t.name());
-        }
     }
     if illegal.is_empty() {
         let _ = writeln!(out, "\nall analyzed schedules are legal");
@@ -409,13 +677,124 @@ fn cmd_analyze(args: &Args) -> Result<String, String> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// profile
+// ---------------------------------------------------------------------------
+
+fn profile_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d profile",
+        "run the plan+simulate pipeline with spans on; print the span tree",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--n", Some("64"), "problem size N"),
+            NK_FLAG,
+            JOBS_FLAG,
+        ],
+    )
+}
+
+/// `profile`: plans and simulates every transformation at one size with
+/// span collection forced on, then renders the span tree (per-phase
+/// wall-clock percentages, attached counters) and the metric registry.
+/// `--trace-out` additionally streams the JSONL events; `--jobs N` shows
+/// the per-worker `SimPool` spans.
+fn cmd_profile(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.usize("--n");
+    if n < 3 {
+        return Err("profile requires --n >= 3".into());
+    }
+    let mut obs_cfg = obs::ObsConfig::from_flags(flags)?;
+    obs_cfg.collect = true;
+    obs::init(obs_cfg)?;
+    let cfg = SweepConfig {
+        n_min: n,
+        n_max: n,
+        step: 1,
+        nk: flags.usize("--nk"),
+        jobs: flags.usize("--jobs"),
+        ..SweepConfig::default()
+    };
+    let (rows, tp) = simulate_grid(&cfg, kernel, &Transform::ALL);
+    let trace = obs::shutdown().ok_or("profile: no trace collected")?;
+
+    let mut out = format!(
+        "profile: {} {n}x{n}x{}, all transforms, {} workers ({})\n\n",
+        kernel.name(),
+        cfg.nk,
+        cfg.pool().jobs(),
+        tp.summary(),
+    );
+    let _ = writeln!(
+        out,
+        "{:<10}{:>12}{:>12}",
+        "transform", "L1 miss %", "L2 miss %"
+    );
+    for (_, points) in &rows {
+        for (t, p) in Transform::ALL.iter().zip(points) {
+            let _ = writeln!(out, "{:<10}{:>12.2}{:>12.2}", t.name(), p.l1_pct, p.l2_pct);
+        }
+    }
+    out.push_str("\nspan tree (wall-clock, % of run):\n");
+    out.push_str(&obs::render_tree(&trace));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// trace-check
+// ---------------------------------------------------------------------------
+
+fn trace_check_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d trace-check",
+        "validate a JSONL trace against the golden schema",
+        Some(("trace", "path to a JSONL trace file")),
+        &[FlagSpec::str(
+            "--schema",
+            None,
+            "golden schema file (default: the built-in schema)",
+        )],
+    )
+}
+
+/// `trace-check`: parses every line of a JSONL trace, checks spans balance
+/// (every open has a close, no duplicates), and diffs the event shapes
+/// against the checked-in golden schema. Any drift is an `Err`, so CI can
+/// gate on the exit code.
+fn cmd_trace_check(flags: &ParsedFlags) -> Result<String, String> {
+    let path = flags
+        .positional()
+        .ok_or("trace-check requires a trace file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let golden = match flags.try_str("--schema") {
+        None => obs::validate::parse_schema(obs::GOLDEN_SCHEMA)?,
+        Some(p) => {
+            let s = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            obs::validate::parse_schema(&s)?
+        }
+    };
+    let report = obs::validate::check_trace_str(&text, &golden);
+    let summary = format!("{path}: {}", report.summary());
+    if report.is_ok() {
+        Ok(format!("{summary}\n"))
+    } else {
+        Err(summary)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn run_line(line: &str) -> Result<String, String> {
         let raw: Vec<String> = line.split_whitespace().map(ToString::to_string).collect();
-        run(&Args::parse(&raw)?)
+        run_argv(&raw)
     }
 
     #[test]
@@ -431,6 +810,29 @@ mod tests {
     }
 
     #[test]
+    fn plan_json_is_parseable_and_complete() {
+        let out = run_line("plan --stencil jacobi3d --dims 341x341 --format json").unwrap();
+        let doc = obs::json::parse(&out).unwrap();
+        assert_eq!(doc.get("di").and_then(Json::as_f64), Some(341.0));
+        let plans = match doc.get("plans") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("plans should be an array, got {other:?}"),
+        };
+        assert_eq!(plans.len(), Transform::ALL.len());
+        let euc = plans
+            .iter()
+            .find(|p| p.get("transform").and_then(Json::as_str) == Some("Euc3D"))
+            .unwrap();
+        match euc.get("tile") {
+            Some(Json::Arr(t)) => {
+                assert_eq!(t[0].as_f64(), Some(110.0), "pathological 341 tile");
+                assert_eq!(t[1].as_f64(), Some(4.0));
+            }
+            other => panic!("Euc3D tile should be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn tiles_reproduces_table1_values() {
         let out = run_line("tiles --di 200 --dj 200").unwrap();
         assert!(out.contains("2048"));
@@ -442,12 +844,34 @@ mod tests {
     }
 
     #[test]
+    fn tiles_json_carries_the_table1_row() {
+        let out = run_line("tiles --di 200 --dj 200 --format json").unwrap();
+        let doc = obs::json::parse(&out).unwrap();
+        let tiles = match doc.get("tiles") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("tiles should be an array, got {other:?}"),
+        };
+        assert!(tiles.iter().any(|t| {
+            t.get("tk").and_then(Json::as_f64) == Some(3.0)
+                && t.get("tj").and_then(Json::as_f64) == Some(15.0)
+                && t.get("ti").and_then(Json::as_f64) == Some(24.0)
+        }));
+    }
+
+    #[test]
     fn advise_matches_the_paper_boundaries() {
         let out = run_line("advise --stencil jacobi3d --n 33").unwrap();
         assert!(out.contains("up to plane extent 32"));
         assert!(out.contains("TileInnerTwo"));
         let out2 = run_line("advise --stencil jacobi2d --n 500").unwrap();
         assert!(out2.contains("NotNeeded"));
+        let j = run_line("advise --stencil jacobi3d --n 33 --format json").unwrap();
+        let doc = obs::json::parse(&j).unwrap();
+        assert_eq!(doc.get("reuse_bound").and_then(Json::as_f64), Some(32.0));
+        assert_eq!(
+            doc.get("verdict").and_then(Json::as_str),
+            Some("TileInnerTwo")
+        );
     }
 
     #[test]
@@ -498,20 +922,42 @@ mod tests {
     }
 
     #[test]
-    fn usage_and_dispatch_cannot_drift() {
-        // Every dispatched command appears in usage(), and every COMMANDS
-        // entry actually dispatches (no "unknown command" error).
+    fn unknown_and_malformed_flags_are_rejected() {
+        let err = run_line("plan --bogus-flag 1").unwrap_err();
+        assert!(err.contains("unknown flag '--bogus-flag'"), "{err}");
+        assert!(err.contains("usage: tiling3d plan"), "{err}");
+        let err = run_line("simulate --n abc").unwrap_err();
+        assert!(err.contains("expected a number"), "{err}");
+        let err = run_line("plan --dims 10x10 --format yaml").unwrap_err();
+        assert!(err.contains("unsupported format"), "{err}");
+    }
+
+    #[test]
+    fn usage_is_generated_from_the_command_table() {
+        // Every command appears in the top-level usage, resolves through
+        // run_argv (no "unknown command"), and has per-command usage via
+        // --help that lists every declared flag including the obs set.
         let u = usage();
-        for cmd in COMMANDS {
-            assert!(u.contains(cmd), "usage() is missing '{cmd}'");
-            let raw = vec![cmd.to_string()];
-            let res = run(&Args::parse(&raw).unwrap());
+        for c in COMMANDS {
+            assert!(u.contains(c.name), "usage() is missing '{}'", c.name);
+            let res = run_argv(&[c.name.to_string()]);
             if let Err(e) = res {
                 assert!(
                     !e.contains("unknown command"),
-                    "'{cmd}' is listed in COMMANDS but not dispatched: {e}"
+                    "'{}' is in COMMANDS but not dispatched: {e}",
+                    c.name
                 );
             }
+            let help = run_argv(&[c.name.to_string(), "--help".to_string()]).unwrap_err();
+            for f in (c.flag_set)().flags() {
+                assert!(
+                    help.contains(f.name),
+                    "{} --help is missing {}: {help}",
+                    c.name,
+                    f.name
+                );
+            }
+            assert!(help.contains("--trace-out"), "{help}");
         }
     }
 
@@ -540,6 +986,24 @@ mod tests {
     }
 
     #[test]
+    fn analyze_json_reports_verdicts_and_still_fails_when_illegal() {
+        let out = run_line("analyze --kernel redblack --transform all --format json").unwrap();
+        let doc = obs::json::parse(&out).unwrap();
+        assert_eq!(
+            doc.get("all_legal").map(|j| matches!(j, Json::Bool(true))),
+            Some(true),
+            "{out}"
+        );
+        let err = run_line("analyze --kernel redblack --transform gcdpad --no-skew --format json")
+            .unwrap_err();
+        let doc = obs::json::parse(&err).unwrap();
+        assert!(
+            matches!(doc.get("all_legal"), Some(Json::Bool(false))),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn analyze_shows_dependences_and_schedule() {
         let out = run_line("analyze --kernel redblack --transform gcdpad").unwrap();
         assert!(out.contains("KK"), "fused dims in:\n{out}");
@@ -547,5 +1011,16 @@ mod tests {
         assert!(out.contains("anti"), "{out}");
         assert!(out.contains("skew"), "schedule steps in:\n{out}");
         assert!(out.contains("LEGAL"), "{out}");
+    }
+
+    #[test]
+    fn trace_check_rejects_missing_files_and_bad_lines() {
+        let err = run_line("trace-check /nonexistent/trace.jsonl").unwrap_err();
+        assert!(err.contains("/nonexistent/trace.jsonl"), "{err}");
+        let path = std::env::temp_dir().join(format!("t3d-bad-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"ev\":\"span_open\"").unwrap();
+        let err = run_argv(&["trace-check".into(), path.display().to_string()]).unwrap_err();
+        assert!(err.contains("error"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,9 +1,11 @@
-//! `tiling3d` — plan, analyse and simulate 3D stencil tiling from the
-//! command line. See `tiling3d_cli` for the commands.
+//! `tiling3d` — plan, analyse, simulate and profile 3D stencil tiling from
+//! the command line. See `tiling3d_cli` for the commands; every subcommand
+//! accepts `--help` plus the shared observability flags (`--log-level`,
+//! `--trace-out`, `--progress`, `--format`).
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let code = match tiling3d_cli::Args::parse(&raw).and_then(|a| tiling3d_cli::run(&a)) {
+    let code = match tiling3d_cli::run_argv(&raw) {
         Ok(out) => {
             print!("{out}");
             0

@@ -18,54 +18,124 @@ pub struct TileSelection {
     pub cost: f64,
 }
 
+/// Options for [`euc3d_select`], the single entry point behind the
+/// previous `euc3d` / `euc3d_checked` / `euc3d_with_depths` triplet.
+#[derive(Clone, Debug, Default)]
+pub struct Euc3dOptions {
+    /// Array-tile depths (`TK`) to enumerate. `None` means the stencil's
+    /// own `ATD` only — the Fig 9 algorithm. Depths `> ATD` can never offer
+    /// a strictly cheaper tile (their non-conflicting `(TI, TJ)` sets are
+    /// subsets of the `ATD`-depth sets), so widening the range is for
+    /// enumeration output like the paper's Table 1, not for better tiles.
+    pub depths: Option<std::ops::RangeInclusive<usize>>,
+    /// When no array tile survives trimming (cache too small for this
+    /// stencil, or pathological dimensions like 256x256 whose plane stride
+    /// is `0 mod C` so planes conflict totally), fall back to the Fig 9
+    /// initialisation `(TI_mc, TJ_mc) = (1, 1)` instead of returning no
+    /// best tile — the source of the paper's "pathologically irregular
+    /// tile size" spikes in Figs 14-19.
+    pub unit_tile_fallback: bool,
+}
+
+/// Output of [`euc3d_select`]: the winning tile (if any) plus every
+/// finite-cost candidate enumerated on the way.
+#[derive(Clone, Debug)]
+pub struct Euc3dSelection {
+    /// Minimum-cost selection; `None` only when nothing survived trimming
+    /// and [`Euc3dOptions::unit_tile_fallback`] is off.
+    pub best: Option<TileSelection>,
+    /// All trimmed candidates with finite cost, in enumeration order
+    /// (ascending depth, then the non-conflicting enumeration order) — the
+    /// paper's Table 1 rows.
+    pub candidates: Vec<TileSelection>,
+}
+
 /// `Euc3D` (Fig 9): enumerate non-conflicting array tiles for the given
-/// array dimensions, trim each by the stencil spans `(m, n)`, and return
+/// array dimensions, trim each by the stencil spans `(m, n)`, and select
 /// the iteration tile minimising the cost function.
 ///
-/// Only depths `TK >= ATD` can hold the stencil's working planes; depths
-/// `> ATD` can never offer a strictly cheaper tile (their non-conflicting
-/// `(TI, TJ)` sets are subsets of the `ATD`-depth sets), so the minimum is
-/// taken at `TK = ATD` — see [`euc3d_with_depths`] for the enumeration
-/// across depths used to render the paper's Table 1.
-///
-/// Returns `None` when no array tile survives trimming (cache too small for
-/// this stencil, or pathological dimensions like 256x256 whose plane stride
-/// is `0 mod C` so planes conflict totally), in which case [`euc3d`] falls
-/// back to the paper's degenerate `(1, 1)` default.
+/// This is the single configurable entry point; the legacy wrappers
+/// [`euc3d`], [`euc3d_checked`] and [`euc3d_with_depths`] are thin calls
+/// into it.
+pub fn euc3d_select(
+    cache: CacheSpec,
+    di: usize,
+    dj: usize,
+    shape: &StencilShape,
+    opts: &Euc3dOptions,
+) -> Euc3dSelection {
+    let cost = CostModel::from_shape(shape);
+    let atd = shape.atd();
+    let depths = opts.depths.clone().unwrap_or(atd..=atd);
+    let mut candidates = Vec::new();
+    let mut best: Option<TileSelection> = None;
+    for tk in depths {
+        for at in enumerate_depth(cache.elements, di, dj, tk) {
+            let v = cost.eval_array_tile(at.ti, at.tj);
+            if !v.is_finite() {
+                continue;
+            }
+            let cand = TileSelection {
+                iter_tile: (at.ti - cost.m, at.tj - cost.n),
+                array_tile: at,
+                cost: v,
+            };
+            if best.is_none_or(|b| cand.cost < b.cost) {
+                best = Some(cand);
+            }
+            candidates.push(cand);
+        }
+    }
+    if tiling3d_obs::collecting() {
+        tiling3d_obs::counter_add("plan.euc3d_candidates", candidates.len() as u64);
+    }
+    if best.is_none() && opts.unit_tile_fallback {
+        best = Some(TileSelection {
+            iter_tile: (1, 1),
+            array_tile: ArrayTile {
+                ti: 1 + cost.m,
+                tj: 1 + cost.n,
+                tk: atd,
+            },
+            cost: cost.eval(1, 1),
+        });
+    }
+    Euc3dSelection { best, candidates }
+}
+
+/// **Deprecated spelling** — use [`euc3d_select`] with
+/// [`Euc3dOptions::default`]. Returns the minimum-cost selection at
+/// `TK = ATD`, or `None` when no array tile survives trimming.
 pub fn euc3d_checked(
     cache: CacheSpec,
     di: usize,
     dj: usize,
     shape: &StencilShape,
 ) -> Option<TileSelection> {
-    let cost = CostModel::from_shape(shape);
-    let atd = shape.atd();
-    best_at_depth(cache.elements, di, dj, atd, cost)
+    euc3d_select(cache, di, dj, shape, &Euc3dOptions::default()).best
 }
 
-/// Infallible variant of [`euc3d_checked`] matching Fig 9 exactly: the
-/// selection is initialised to `(TI_mc, TJ_mc) = (1, 1)`, so when no real
-/// non-conflicting tile survives trimming the degenerate `1 x 1` iteration
-/// tile is returned (the source of the paper's "pathologically irregular
-/// tile size" spikes in Figs 14-19).
+/// **Deprecated spelling** — use [`euc3d_select`] with
+/// `unit_tile_fallback: true`. Infallible Fig 9 selection, degenerating to
+/// the `1 x 1` iteration tile for pathological dimensions.
 pub fn euc3d(cache: CacheSpec, di: usize, dj: usize, shape: &StencilShape) -> TileSelection {
-    euc3d_checked(cache, di, dj, shape).unwrap_or_else(|| {
-        let cost = CostModel::from_shape(shape);
-        TileSelection {
-            iter_tile: (1, 1),
-            array_tile: ArrayTile {
-                ti: 1 + cost.m,
-                tj: 1 + cost.n,
-                tk: shape.atd(),
-            },
-            cost: cost.eval(1, 1),
-        }
-    })
+    euc3d_select(
+        cache,
+        di,
+        dj,
+        shape,
+        &Euc3dOptions {
+            depths: None,
+            unit_tile_fallback: true,
+        },
+    )
+    .best
+    .expect("unit_tile_fallback guarantees a selection")
 }
 
-/// Enumerates the candidate selections across a range of array-tile depths
-/// — one `TileSelection` per non-conflicting array tile with finite cost.
-/// This is the paper's Table 1 enumeration (with trimming applied).
+/// **Deprecated spelling** — use [`euc3d_select`] with an explicit
+/// `depths` range and read `candidates`. The paper's Table 1 enumeration
+/// (with trimming applied).
 pub fn euc3d_with_depths(
     cache: CacheSpec,
     di: usize,
@@ -73,46 +143,17 @@ pub fn euc3d_with_depths(
     shape: &StencilShape,
     depths: std::ops::RangeInclusive<usize>,
 ) -> Vec<TileSelection> {
-    let cost = CostModel::from_shape(shape);
-    let mut out = Vec::new();
-    for tk in depths {
-        for at in enumerate_depth(cache.elements, di, dj, tk) {
-            let c = cost.eval_array_tile(at.ti, at.tj);
-            if c.is_finite() {
-                out.push(TileSelection {
-                    iter_tile: (at.ti - cost.m, at.tj - cost.n),
-                    array_tile: at,
-                    cost: c,
-                });
-            }
-        }
-    }
-    out
-}
-
-fn best_at_depth(
-    c: usize,
-    di: usize,
-    dj: usize,
-    tk: usize,
-    cost: CostModel,
-) -> Option<TileSelection> {
-    let mut best: Option<TileSelection> = None;
-    for at in enumerate_depth(c, di, dj, tk) {
-        let v = cost.eval_array_tile(at.ti, at.tj);
-        if !v.is_finite() {
-            continue;
-        }
-        let cand = TileSelection {
-            iter_tile: (at.ti - cost.m, at.tj - cost.n),
-            array_tile: at,
-            cost: v,
-        };
-        if best.is_none_or(|b| cand.cost < b.cost) {
-            best = Some(cand);
-        }
-    }
-    best
+    euc3d_select(
+        cache,
+        di,
+        dj,
+        shape,
+        &Euc3dOptions {
+            depths: Some(depths),
+            unit_tile_fallback: false,
+        },
+    )
+    .candidates
 }
 
 #[cfg(test)]
@@ -148,12 +189,23 @@ mod tests {
     #[test]
     fn deeper_depths_never_beat_atd() {
         let shape = StencilShape::jacobi3d();
-        let cost = CostModel::from_shape(&shape);
+        let best_at = |d: usize, tk: usize| {
+            euc3d_select(
+                spec(),
+                d,
+                d,
+                &shape,
+                &Euc3dOptions {
+                    depths: Some(tk..=tk),
+                    unit_tile_fallback: false,
+                },
+            )
+            .best
+        };
         for &d in &[200usize, 300, 341, 400, 365] {
-            let at_atd = best_at_depth(2048, d, d, 3, cost)
-                .unwrap_or_else(|| panic!("no depth-3 tile for di={d}"));
+            let at_atd = best_at(d, 3).unwrap_or_else(|| panic!("no depth-3 tile for di={d}"));
             for tk in 4..=6 {
-                if let Some(deeper) = best_at_depth(2048, d, d, tk, cost) {
+                if let Some(deeper) = best_at(d, tk) {
                     assert!(
                         deeper.cost >= at_atd.cost - 1e-12,
                         "depth {tk} beat ATD for di={d}: {deeper:?} vs {at_atd:?}"
@@ -162,7 +214,20 @@ mod tests {
             }
         }
         // 256x256 is fully pathological: plane stride 0 mod 2048.
-        assert!(best_at_depth(2048, 256, 256, 3, cost).is_none());
+        assert!(best_at(256, 3).is_none());
+    }
+
+    #[test]
+    fn select_candidates_carry_the_best_and_wrappers_agree() {
+        let shape = StencilShape::jacobi3d();
+        let sel = euc3d_select(spec(), 200, 200, &shape, &Euc3dOptions::default());
+        let best = sel.best.expect("200x200 has real tiles");
+        assert_eq!(best.iter_tile, (22, 13));
+        assert!(sel.candidates.iter().any(|c| c.iter_tile == best.iter_tile));
+        assert!(sel.candidates.iter().all(|c| c.cost >= best.cost));
+        // The legacy wrappers are views of the same computation.
+        assert_eq!(euc3d_checked(spec(), 200, 200, &shape), Some(best));
+        assert_eq!(euc3d(spec(), 200, 200, &shape), best);
     }
 
     #[test]

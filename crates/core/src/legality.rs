@@ -154,6 +154,11 @@ pub fn plan_certified(
     shape: &StencilShape,
     discipline: &SweepDiscipline,
 ) -> Result<CertifiedPlan, IllegalPlan> {
+    let _span = if tiling3d_obs::collecting() {
+        Some(tiling3d_obs::span(&format!("plan_certified:{}", t.name())))
+    } else {
+        None
+    };
     let p = plan(t, cache, di, dj, shape);
     let certificate = certificate_for(discipline, p.tile.is_some(), true);
     if certificate.is_legal() {

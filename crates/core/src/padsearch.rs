@@ -1,7 +1,7 @@
 //! The Pad transformation (Fig 11): pad search with tile selection.
 
 use crate::cost::CostModel;
-use crate::euc::{euc3d_checked, TileSelection};
+use crate::euc::{euc3d_select, Euc3dOptions, TileSelection};
 use crate::gcdpad::gcd_pad;
 use crate::plan::CacheSpec;
 use tiling3d_loopnest::StencilShape;
@@ -32,24 +32,36 @@ pub fn pad(cache: CacheSpec, di: usize, dj: usize, shape: &StencilShape) -> PadP
     let g = gcd_pad(cache, di, dj, shape);
     let cost = CostModel::from_shape(shape);
     let cost_star = cost.eval(g.iter_tile.0 as i64, g.iter_tile.1 as i64);
+    let opts = Euc3dOptions::default();
+    let mut pads_tried: u64 = 0;
 
-    for di_p in di..=g.di_p {
+    let mut result = None;
+    'search: for di_p in di..=g.di_p {
         for dj_p in dj..=g.dj_p {
-            if let Some(sel) = euc3d_checked(cache, di_p, dj_p, shape) {
+            pads_tried += 1;
+            if let Some(sel) = euc3d_select(cache, di_p, dj_p, shape, &opts).best {
                 if sel.cost <= cost_star + 1e-12 {
-                    return PadPlan {
+                    result = Some(PadPlan {
                         selection: sel,
                         di_p,
                         dj_p,
-                    };
+                    });
+                    break 'search;
                 }
             }
         }
     }
+    if tiling3d_obs::collecting() {
+        tiling3d_obs::counter_add("plan.pads_tried", pads_tried);
+    }
+    if let Some(p) = result {
+        return p;
+    }
 
     // Unreachable when GcdPad's invariants hold; keep a deterministic
     // fallback to the GcdPad dimensions for robustness.
-    let sel = euc3d_checked(cache, g.di_p, g.dj_p, shape)
+    let sel = euc3d_select(cache, g.di_p, g.dj_p, shape, &opts)
+        .best
         .expect("Euc3D must find a tile at GcdPad's own dimensions");
     PadPlan {
         selection: sel,

@@ -68,6 +68,28 @@ impl Transform {
     }
 }
 
+impl std::str::FromStr for Transform {
+    type Err = String;
+
+    /// Parses a transform name, case-insensitively — the one spelling shared
+    /// by the CLI subcommands and every bench driver. Round-trips with
+    /// [`Transform::name`] for every variant.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "orig" => Ok(Transform::Orig),
+            "tile" => Ok(Transform::Tile),
+            "euc3d" => Ok(Transform::Euc3D),
+            "gcdpad" => Ok(Transform::GcdPad),
+            "pad" => Ok(Transform::Pad),
+            "gcdpadnt" => Ok(Transform::GcdPadNT),
+            other => Err(format!(
+                "unknown transform '{other}' (expected one of: orig, tile, euc3d, \
+                 gcdpad, pad, gcdpadnt)"
+            )),
+        }
+    }
+}
+
 /// A fully resolved plan: which tile to run (if any) and which padded
 /// dimensions to allocate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -97,6 +119,13 @@ pub fn plan(
     dj: usize,
     shape: &StencilShape,
 ) -> TransformPlan {
+    let _span = if tiling3d_obs::collecting() {
+        let s = tiling3d_obs::span(&format!("plan:{}", t.name()));
+        tiling3d_obs::counter_add("plan.calls", 1);
+        Some(s)
+    } else {
+        None
+    };
     let cost = CostModel::from_shape(shape);
     match t {
         Transform::Orig => TransformPlan {
@@ -175,6 +204,19 @@ mod tests {
 
     fn spec() -> CacheSpec {
         CacheSpec::ELEMENTS_16K_DOUBLES
+    }
+
+    #[test]
+    fn transform_from_str_round_trips_every_variant() {
+        for t in Transform::ALL {
+            assert_eq!(t.name().parse::<Transform>().unwrap(), t);
+            // Case-insensitive: the lowercase CLI spelling works too.
+            assert_eq!(
+                t.name().to_ascii_lowercase().parse::<Transform>().unwrap(),
+                t
+            );
+        }
+        assert!("euclid".parse::<Transform>().is_err());
     }
 
     #[test]

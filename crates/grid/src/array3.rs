@@ -39,6 +39,10 @@ impl<T: Copy + Default> Array3<T> {
         assert!(ni > 0 && nj > 0 && nk > 0, "extents must be nonzero");
         assert!(di >= ni, "padded leading dim {di} < logical {ni}");
         assert!(dj >= nj, "padded middle dim {dj} < logical {nj}");
+        if tiling3d_obs::collecting() {
+            tiling3d_obs::counter_add("grid.array3_allocs", 1);
+            tiling3d_obs::counter_add("grid.array3_elements", (di * dj * nk) as u64);
+        }
         Array3 {
             data: vec![T::default(); di * dj * nk],
             ni,

@@ -489,6 +489,10 @@ impl LegalityCertificate {
 /// # Panics
 /// Panics if a dependence's rank differs from the schedule's `ndims`.
 pub fn certify(deps: &DepSet, schedule: &Schedule) -> LegalityCertificate {
+    if tiling3d_obs::collecting() {
+        tiling3d_obs::counter_add("legality.certified", 1);
+        tiling3d_obs::counter_add("legality.deps_checked", deps.deps.len() as u64);
+    }
     let mut violations = Vec::new();
     for dep in &deps.deps {
         if let Some(tv) = schedule

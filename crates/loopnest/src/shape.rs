@@ -152,9 +152,46 @@ impl StencilShape {
     }
 }
 
+impl std::str::FromStr for StencilShape {
+    type Err = String;
+
+    /// Parses the CLI spelling of a shape. `redblack`/`redblack3d` mean the
+    /// *fused* schedule (the form every driver simulates); the naive
+    /// 7-point variant is spelled `redblack-naive`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jacobi3d" => Ok(StencilShape::jacobi3d()),
+            "jacobi2d" => Ok(StencilShape::jacobi2d()),
+            "redblack" | "redblack3d" | "redblack3d_fused" => Ok(StencilShape::redblack3d_fused()),
+            "redblack-naive" => Ok(StencilShape::redblack3d()),
+            "resid" | "resid27" => Ok(StencilShape::resid27()),
+            other => Err(format!(
+                "unknown stencil '{other}' (expected jacobi3d, jacobi2d, redblack, \
+                 redblack-naive, or resid)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_str_covers_the_cli_spellings() {
+        for (spelling, want) in [
+            ("jacobi3d", StencilShape::jacobi3d()),
+            ("jacobi2d", StencilShape::jacobi2d()),
+            ("redblack", StencilShape::redblack3d_fused()),
+            ("redblack3d", StencilShape::redblack3d_fused()),
+            ("redblack-naive", StencilShape::redblack3d()),
+            ("resid", StencilShape::resid27()),
+            ("resid27", StencilShape::resid27()),
+        ] {
+            assert_eq!(spelling.parse::<StencilShape>().unwrap(), want);
+        }
+        assert!("hex".parse::<StencilShape>().is_err());
+    }
 
     #[test]
     fn jacobi3d_parameters_match_the_paper() {

@@ -154,6 +154,12 @@ impl MgSolver {
     /// One MGRID iteration: `resid` on the finest grid, then the `mg3P`
     /// V-cycle. Returns the residual norm *before* the cycle.
     pub fn iterate(&mut self) -> f64 {
+        let _span = if tiling3d_obs::collecting() {
+            tiling3d_obs::counter_add("mg.vcycles", 1);
+            Some(tiling3d_obs::span("mg.vcycle"))
+        } else {
+            None
+        };
         let lt = self.cfg.levels - 1; // index of finest level
         let tile = self.cfg.tile_finest;
         let a = self.cfg.coeffs_a;

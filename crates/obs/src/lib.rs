@@ -1,0 +1,678 @@
+//! `tiling3d-obs`: zero-dependency observability for the tiling3d
+//! workspace — hierarchical spans, a metrics registry, JSONL trace sinks —
+//! plus the shared typed CLI flag API ([`flags`]) every binary parses
+//! through.
+//!
+//! # Design
+//!
+//! * **Pay for what you use.** The recorder is a process-global behind an
+//!   [`AtomicBool`]; when no `--trace-out` / `--progress` / profile mode is
+//!   active every instrumentation point is a single relaxed atomic load.
+//!   Instrumentation sits at phase granularity (per simulation point, per
+//!   plan), never inside per-access loops, so enabling it does not perturb
+//!   the measured kernels either.
+//! * **Determinism-aware.** Counters are `u64` and must be jobs-invariant;
+//!   gauges are `f64` wall-clock measurements and are excluded from the
+//!   jobs-determinism golden test. Worker spans are all named `worker` so
+//!   the *set* of span names in a trace does not depend on `--jobs`.
+//! * **Zero dependencies.** JSON emission and parsing are hand-rolled in
+//!   [`json`]; the schema validator ([`validate`]) checks traces against the
+//!   checked-in `trace.schema.golden`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tiling3d_obs as obs;
+//! obs::init(obs::ObsConfig::collect_only());
+//! {
+//!     let span = obs::span("plan");
+//!     span.add("plan.pads_tried", 3);
+//! }
+//! obs::counter_add("sim.accesses", 1000);
+//! let trace = obs::shutdown().expect("trace collected");
+//! assert!(obs::render_tree(&trace).contains("plan"));
+//! ```
+
+pub mod flags;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod validate;
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use metrics::{MetricValue, Metrics};
+use sink::{Event, JsonlSink, Sink};
+
+/// The JSONL trace schema this crate emits, as a checked-in golden file.
+/// CI validates freshly produced traces against it; editing the event
+/// shapes requires editing this file in the same change.
+pub const GOLDEN_SCHEMA: &str = include_str!("../trace.schema.golden");
+
+// ---------------------------------------------------------------------------
+// Global state
+// ---------------------------------------------------------------------------
+
+/// Fast gate: is span/metric collection active?
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Log verbosity: 0 = off, 1 = error, 2 = info, 3 = debug.
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(2);
+/// Stderr progress ticker active?
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+thread_local! {
+    /// Stack of open span ids on this thread (parent inference).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A span as stored by the recorder (also the shape handed back in
+/// [`FinishedTrace`] for tree rendering).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace, starting at 1.
+    pub id: u64,
+    /// Parent span id; 0 for roots.
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Open time, µs since init.
+    pub start_us: u64,
+    /// Duration, µs (0 until closed).
+    pub dur_us: u64,
+    /// Counters attached via [`Span::add`], in attachment order.
+    pub counters: Vec<(String, u64)>,
+    /// Whether the span has closed.
+    pub closed: bool,
+}
+
+struct Recorder {
+    epoch: Instant,
+    next_id: u64,
+    spans: Vec<SpanRecord>,
+    metrics: Metrics,
+    sinks: Vec<Box<dyn Sink + Send>>,
+}
+
+impl Recorder {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn emit(&mut self, ev: &Event) {
+        for s in &mut self.sinks {
+            s.event(ev);
+        }
+    }
+}
+
+/// Everything the recorder collected, returned by [`shutdown`].
+#[derive(Debug, Default)]
+pub struct FinishedTrace {
+    /// All spans, in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Final metric snapshot.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+// ---------------------------------------------------------------------------
+// Configuration & lifecycle
+// ---------------------------------------------------------------------------
+
+/// How to initialise the observability layer. Build one by hand, with the
+/// convenience constructors, or from parsed CLI flags via
+/// [`ObsConfig::from_flags`].
+#[derive(Default)]
+pub struct ObsConfig {
+    /// Collect spans/metrics in memory (required for [`render_tree`]).
+    pub collect: bool,
+    /// Write a JSONL event stream to this path.
+    pub trace_out: Option<PathBuf>,
+    /// Emit progress ticks to stderr.
+    pub progress: bool,
+    /// Log verbosity: 0 off, 1 error, 2 info, 3 debug.
+    pub log_level: u8,
+    extra_sinks: Vec<Box<dyn Sink + Send>>,
+}
+
+impl ObsConfig {
+    /// Collection on, no file sink — what `tiling3d profile` uses before
+    /// rendering the span tree.
+    pub fn collect_only() -> Self {
+        ObsConfig {
+            collect: true,
+            log_level: 2,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Adds a custom sink (tests use [`sink::MemorySink`] through a shared
+    /// buffer wrapper).
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn Sink + Send>) -> Self {
+        self.extra_sinks.push(sink);
+        self
+    }
+
+    /// True when this config activates any collection or sink.
+    pub fn is_active(&self) -> bool {
+        self.collect || self.trace_out.is_some() || self.progress || !self.extra_sinks.is_empty()
+    }
+}
+
+/// Installs the global recorder. Re-initialising replaces any previous
+/// recorder (its unfinished trace is dropped). Returns an error only when a
+/// trace file cannot be created.
+pub fn init(mut config: ObsConfig) -> Result<(), String> {
+    let mut sinks: Vec<Box<dyn Sink + Send>> = Vec::new();
+    if let Some(path) = &config.trace_out {
+        sinks.push(Box::new(JsonlSink::create(path)?));
+    }
+    sinks.append(&mut config.extra_sinks);
+
+    LOG_LEVEL.store(config.log_level, Ordering::Relaxed);
+    PROGRESS.store(config.progress, Ordering::Relaxed);
+    let active = config.collect || !sinks.is_empty();
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = if active {
+        Some(Recorder {
+            epoch: Instant::now(),
+            next_id: 0,
+            spans: Vec::new(),
+            metrics: Metrics::default(),
+            sinks,
+        })
+    } else {
+        None
+    };
+    ENABLED.store(active, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Tears down the recorder: emits a final `metric` event per registered
+/// metric, flushes sinks, and returns the collected trace. Returns `None`
+/// when no recorder was active.
+pub fn shutdown() -> Option<FinishedTrace> {
+    ENABLED.store(false, Ordering::Relaxed);
+    PROGRESS.store(false, Ordering::Relaxed);
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rec = guard.take()?;
+    for (name, value) in rec.metrics.snapshot() {
+        let ev = Event::Metric {
+            name,
+            kind: value.kind(),
+            value: value.as_f64(),
+        };
+        rec.emit(&ev);
+    }
+    for s in &mut rec.sinks {
+        s.flush();
+    }
+    Some(FinishedTrace {
+        spans: rec.spans,
+        metrics: rec.metrics.snapshot(),
+    })
+}
+
+/// Is span/metric collection currently active? Instrumentation sites use
+/// this to skip even the cheap argument marshalling when off.
+#[inline]
+pub fn collecting() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for an open span; closes (and records duration) on drop.
+/// Obtained from [`span`] or [`span_at`]. A disabled recorder yields inert
+/// guards with `id == 0`.
+pub struct Span {
+    id: u64,
+    on_stack: bool,
+}
+
+impl Span {
+    /// This span's id, for parenting cross-thread children via [`span_at`].
+    /// 0 when the recorder is disabled.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches (accumulates) a counter onto this span, visible in both the
+    /// rendered tree and the `span_close` event.
+    pub fn add(&self, name: &str, delta: u64) {
+        if self.id == 0 {
+            return;
+        }
+        let mut guard = RECORDER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(rec) = guard.as_mut() {
+            if let Some(s) = rec.spans.iter_mut().find(|s| s.id == self.id) {
+                match s.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => *v += delta,
+                    None => s.counters.push((name.to_string(), delta)),
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        if self.on_stack {
+            SPAN_STACK.with(|st| {
+                let mut st = st.borrow_mut();
+                if let Some(pos) = st.iter().rposition(|&id| id == self.id) {
+                    st.remove(pos);
+                }
+            });
+        }
+        let mut guard = RECORDER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(rec) = guard.as_mut() {
+            let t_us = rec.now_us();
+            if let Some(idx) = rec.spans.iter().position(|s| s.id == self.id) {
+                rec.spans[idx].closed = true;
+                rec.spans[idx].dur_us = t_us.saturating_sub(rec.spans[idx].start_us);
+                let ev = Event::SpanClose {
+                    id: self.id,
+                    t_us,
+                    dur_us: rec.spans[idx].dur_us,
+                    counters: rec.spans[idx].counters.clone(),
+                };
+                rec.emit(&ev);
+            }
+        }
+    }
+}
+
+/// Opens a span as a child of the innermost open span on this thread.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if !collecting() {
+        return Span {
+            id: 0,
+            on_stack: false,
+        };
+    }
+    let parent = SPAN_STACK.with(|st| st.borrow().last().copied().unwrap_or(0));
+    open_span(name, parent, true)
+}
+
+/// Opens a span under an explicit parent id — how worker threads attach
+/// their spans to the pool span captured before spawning. Pass `0` for a
+/// root span.
+#[inline]
+pub fn span_at(name: &str, parent: u64) -> Span {
+    if !collecting() {
+        return Span {
+            id: 0,
+            on_stack: false,
+        };
+    }
+    open_span(name, parent, true)
+}
+
+/// The innermost open span id on this thread (0 when none / disabled).
+pub fn current_span() -> u64 {
+    if !collecting() {
+        return 0;
+    }
+    SPAN_STACK.with(|st| st.borrow().last().copied().unwrap_or(0))
+}
+
+fn open_span(name: &str, parent: u64, on_stack: bool) -> Span {
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(rec) = guard.as_mut() else {
+        return Span {
+            id: 0,
+            on_stack: false,
+        };
+    };
+    rec.next_id += 1;
+    let id = rec.next_id;
+    let t_us = rec.now_us();
+    rec.spans.push(SpanRecord {
+        id,
+        parent,
+        name: name.to_string(),
+        start_us: t_us,
+        dur_us: 0,
+        counters: Vec::new(),
+        closed: false,
+    });
+    let ev = Event::SpanOpen {
+        id,
+        parent,
+        name: name.to_string(),
+        t_us,
+    };
+    rec.emit(&ev);
+    drop(guard);
+    if on_stack {
+        SPAN_STACK.with(|st| st.borrow_mut().push(id));
+    }
+    Span { id, on_stack }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics, progress, logging
+// ---------------------------------------------------------------------------
+
+/// Adds to a global monotonic counter (deterministic across `--jobs`).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !collecting() {
+        return;
+    }
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(rec) = guard.as_mut() {
+        rec.metrics.counter_add(name, delta);
+    }
+}
+
+/// Accumulates into a global gauge (wall-clock-ish, jobs-variant).
+#[inline]
+pub fn gauge_add(name: &str, delta: f64) {
+    if !collecting() {
+        return;
+    }
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(rec) = guard.as_mut() {
+        rec.metrics.gauge_add(name, delta);
+    }
+}
+
+/// Overwrites a global gauge.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !collecting() {
+        return;
+    }
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(rec) = guard.as_mut() {
+        rec.metrics.gauge_set(name, value);
+    }
+}
+
+/// Reports sweep progress: emits a `progress` event to sinks and, when
+/// `--progress` is active, a `\r`-style ticker line on stderr.
+pub fn progress(label: &str, done: u64, total: u64) {
+    if PROGRESS.load(Ordering::Relaxed) {
+        eprint!("\r[{label}] {done}/{total}");
+        if done >= total {
+            eprintln!();
+        }
+        let _ = std::io::stderr().flush();
+    }
+    if !collecting() {
+        return;
+    }
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(rec) = guard.as_mut() {
+        let ev = Event::Progress {
+            label: label.to_string(),
+            done,
+            total,
+        };
+        rec.emit(&ev);
+    }
+}
+
+fn log(level: u8, level_name: &'static str, msg: &str) {
+    if LOG_LEVEL.load(Ordering::Relaxed) >= level {
+        eprintln!("[{level_name}] {msg}");
+    }
+    if !collecting() {
+        return;
+    }
+    let mut guard = RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(rec) = guard.as_mut() {
+        let ev = Event::Log {
+            level: level_name,
+            msg: msg.to_string(),
+            t_us: rec.now_us(),
+        };
+        rec.emit(&ev);
+    }
+}
+
+/// Logs at `error` (shown unless `--log-level off`).
+pub fn error(msg: &str) {
+    log(1, "error", msg);
+}
+
+/// Logs at `info` (the default level).
+pub fn info(msg: &str) {
+    log(2, "info", msg);
+}
+
+/// Logs at `debug` (shown under `--log-level debug`).
+pub fn debug(msg: &str) {
+    log(3, "debug", msg);
+}
+
+// ---------------------------------------------------------------------------
+// Tree rendering
+// ---------------------------------------------------------------------------
+
+/// Renders the span tree with wall-clock durations, per-phase percentages
+/// of the root span, and attached counters — the output of
+/// `tiling3d profile`.
+pub fn render_tree(trace: &FinishedTrace) -> String {
+    let mut out = String::new();
+    let total_us: u64 = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == 0)
+        .map(|s| s.dur_us)
+        .sum();
+    render_children(trace, &[0], 0, total_us.max(1), &mut out);
+    if !trace.metrics.is_empty() {
+        out.push_str("metrics:\n");
+        for (name, value) in &trace.metrics {
+            match value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("  {name} = {c}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("  {name} = {g:.3}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders every span whose parent is in `parents`, grouped by name in
+/// first-seen order. Same-named siblings (worker spans, repeated per-point
+/// simulate spans) merge into one `name ×N` line with summed durations and
+/// counters; recursion then treats the whole group as one parent set, so
+/// the children of merged spans stay visible (also merged). Summed
+/// durations of concurrent spans can exceed 100% of wall-clock — that is
+/// aggregate CPU time, shown as-is.
+fn render_children(
+    trace: &FinishedTrace,
+    parents: &[u64],
+    depth: usize,
+    total_us: u64,
+    out: &mut String,
+) {
+    let children: Vec<&SpanRecord> = trace
+        .spans
+        .iter()
+        .filter(|s| parents.contains(&s.parent))
+        .collect();
+    let mut shown: Vec<&str> = Vec::new();
+    for child in &children {
+        if shown.contains(&child.name.as_str()) {
+            continue;
+        }
+        shown.push(child.name.as_str());
+        let group: Vec<&SpanRecord> = children
+            .iter()
+            .filter(|c| c.name == child.name)
+            .copied()
+            .collect();
+        let sum_us: u64 = group.iter().map(|c| c.dur_us).sum();
+        let mut counters: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for c in &group {
+            for (k, v) in &c.counters {
+                *counters.entry(k.as_str()).or_insert(0) += v;
+            }
+        }
+        let indent = "  ".repeat(depth);
+        let pct = 100.0 * sum_us as f64 / total_us as f64;
+        if group.len() > 1 {
+            out.push_str(&format!(
+                "{indent}{} ×{} {:.1}ms {:.1}%",
+                child.name,
+                group.len(),
+                sum_us as f64 / 1000.0,
+                pct
+            ));
+        } else {
+            out.push_str(&format!(
+                "{indent}{} {:.1}ms {:.1}%",
+                child.name,
+                sum_us as f64 / 1000.0,
+                pct
+            ));
+        }
+        if !counters.is_empty() {
+            let rendered: Vec<String> = counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(" [{}]", rendered.join(" ")));
+        }
+        out.push('\n');
+        let ids: Vec<u64> = group.iter().map(|c| c.id).collect();
+        render_children(trace, &ids, depth + 1, total_us, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+    /// The recorder is process-global; serialize tests that touch it.
+    pub(crate) fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A `Sink` writing into a shared line buffer (so the test keeps a view
+    /// after handing the sink to `init`).
+    pub(crate) struct SharedSink(pub Arc<StdMutex<MemorySink>>);
+    impl Sink for SharedSink {
+        fn event(&mut self, ev: &Event) {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .event(ev);
+        }
+    }
+
+    #[test]
+    fn spans_nest_counters_attach_and_tree_renders() {
+        let _g = obs_lock();
+        init(ObsConfig::collect_only()).unwrap();
+        {
+            let root = span("root");
+            root.add("items", 2);
+            {
+                let child = span("child");
+                child.add("hits", 7);
+                child.add("hits", 3);
+            }
+            assert_eq!(current_span(), root.id());
+        }
+        counter_add("sim.accesses", 500);
+        gauge_set("sim.wall_us", 123.0);
+        let trace = shutdown().expect("collected");
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].parent, trace.spans[0].id);
+        assert!(trace.spans.iter().all(|s| s.closed));
+        assert_eq!(trace.spans[1].counters, vec![("hits".to_string(), 10)]);
+        let tree = render_tree(&trace);
+        assert!(tree.contains("root"), "{tree}");
+        assert!(tree.contains("child"), "{tree}");
+        assert!(tree.contains("[hits=10]"), "{tree}");
+        assert!(tree.contains("sim.accesses = 500"), "{tree}");
+        assert!(tree.contains('%'), "{tree}");
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _g = obs_lock();
+        init(ObsConfig::default()).unwrap();
+        assert!(!collecting());
+        let s = span("nope");
+        assert_eq!(s.id(), 0);
+        s.add("x", 1);
+        counter_add("x", 1);
+        drop(s);
+        assert!(shutdown().is_none());
+    }
+
+    #[test]
+    fn span_at_parents_across_threads_and_events_stream() {
+        let _g = obs_lock();
+        let buf = Arc::new(StdMutex::new(MemorySink::default()));
+        init(ObsConfig::collect_only().with_sink(Box::new(SharedSink(Arc::clone(&buf))))).unwrap();
+        let pool_id;
+        {
+            let pool = span("pool");
+            pool_id = pool.id();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let w = span_at("worker", pool_id);
+                        w.add("tasks", 1);
+                    });
+                }
+            });
+        }
+        let trace = shutdown().expect("collected");
+        let workers: Vec<&SpanRecord> = trace.spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 2);
+        assert!(workers.iter().all(|w| w.parent == pool_id));
+        let lines = &buf.lock().unwrap().lines;
+        let opens = lines.iter().filter(|l| l.contains("span_open")).count();
+        let closes = lines.iter().filter(|l| l.contains("span_close")).count();
+        assert_eq!(opens, 3);
+        assert_eq!(closes, 3);
+        // ×N aggregation of same-named siblings in the tree.
+        assert!(render_tree(&trace).contains("worker ×2"));
+    }
+}

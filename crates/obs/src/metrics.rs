@@ -1,0 +1,120 @@
+//! The metrics registry: named monotonic counters and gauges.
+//!
+//! **Counters** are deterministic `u64` accumulators — quantities that must
+//! be bit-identical for any `--jobs` value (accesses simulated, lines
+//! fetched, plans certified, pool tasks completed). The jobs-invariance
+//! golden test compares counter snapshots across worker counts.
+//!
+//! **Gauges** are `f64` measurements that may legitimately vary run to run
+//! (simulation wall time, throughput); they are excluded from determinism
+//! comparisons.
+
+use std::collections::BTreeMap;
+
+/// One registered metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic deterministic accumulator.
+    Counter(u64),
+    /// Measurement; last write or accumulated sum, caller's choice.
+    Gauge(f64),
+}
+
+impl MetricValue {
+    /// `"counter"` or `"gauge"` — the `kind` field of metric events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+        }
+    }
+
+    /// The value widened to `f64` (how metric events carry it).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Counter(c) => *c as f64,
+            MetricValue::Gauge(g) => *g,
+        }
+    }
+}
+
+/// Name → value registry. Lives inside the recorder; all mutation goes
+/// through the [`crate::counter_add`] / [`crate::gauge_add`] /
+/// [`crate::gauge_set`] entry points.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl Metrics {
+    /// Adds to a monotonic counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.values.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += delta,
+            Some(MetricValue::Gauge(_)) => {} // kind mismatch: first writer wins
+            None => {
+                self.values
+                    .insert(name.to_string(), MetricValue::Counter(delta));
+            }
+        }
+    }
+
+    /// Accumulates into a gauge (creating it at zero).
+    pub fn gauge_add(&mut self, name: &str, delta: f64) {
+        match self.values.get_mut(name) {
+            Some(MetricValue::Gauge(g)) => *g += delta,
+            Some(MetricValue::Counter(_)) => {}
+            None => {
+                self.values
+                    .insert(name.to_string(), MetricValue::Gauge(delta));
+            }
+        }
+    }
+
+    /// Overwrites a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.values
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Sorted snapshot of every metric.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let mut m = Metrics::default();
+        m.counter_add("b.x", 2);
+        m.counter_add("a.y", 1);
+        m.counter_add("b.x", 3);
+        m.gauge_add("wall", 0.5);
+        m.gauge_add("wall", 0.25);
+        m.gauge_set("rate", 9.0);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.y", "b.x", "rate", "wall"]);
+        assert_eq!(snap[1].1, MetricValue::Counter(5));
+        assert_eq!(snap[3].1, MetricValue::Gauge(0.75));
+        assert_eq!(snap[2].1.kind(), "gauge");
+        assert_eq!(snap[0].1.as_f64(), 1.0);
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_a_panic() {
+        let mut m = Metrics::default();
+        m.counter_add("x", 1);
+        m.gauge_add("x", 5.0);
+        assert_eq!(m.snapshot()[0].1, MetricValue::Counter(1));
+    }
+}

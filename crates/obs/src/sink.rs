@@ -1,0 +1,224 @@
+//! Trace events and pluggable sinks.
+//!
+//! Every observability occurrence — a span opening or closing, a metric
+//! snapshot, a progress tick, a log line — is an [`Event`]. The recorder
+//! fans each event out to its installed [`Sink`]s; the crate ships a JSONL
+//! file sink ([`JsonlSink`]) and renders the human span tree from the
+//! recorder's in-memory span store (see [`crate::render_tree`]). Custom
+//! sinks plug in via [`crate::ObsConfig::with_sink`].
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::json::Json;
+
+/// One observability occurrence, in recorder time (`t_us` = microseconds
+/// since [`crate::init`]).
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A span started. `parent` is `0` for root spans.
+    SpanOpen {
+        /// Span id (unique within the trace, starting at 1).
+        id: u64,
+        /// Enclosing span id, or 0 for a root span.
+        parent: u64,
+        /// Span name (e.g. `simulate:JACOBI:GcdPad`).
+        name: String,
+        /// Open time, µs since init.
+        t_us: u64,
+    },
+    /// A span finished.
+    SpanClose {
+        /// Id of the span being closed.
+        id: u64,
+        /// Close time, µs since init.
+        t_us: u64,
+        /// Wall-clock duration, µs.
+        dur_us: u64,
+        /// Counters attached to the span (empty object when none).
+        counters: Vec<(String, u64)>,
+    },
+    /// A metric snapshot (the recorder emits one per metric at shutdown).
+    Metric {
+        /// Metric name (e.g. `cachesim.l1.accesses`).
+        name: String,
+        /// `"counter"` (deterministic monotonic) or `"gauge"`.
+        kind: &'static str,
+        /// Current value.
+        value: f64,
+    },
+    /// A progress tick from a sweep.
+    Progress {
+        /// What is progressing (e.g. `JACOBI simulate`).
+        label: String,
+        /// Items completed so far.
+        done: u64,
+        /// Total items.
+        total: u64,
+    },
+    /// A log line that was also written to stderr.
+    Log {
+        /// `error` / `info` / `debug`.
+        level: &'static str,
+        /// The message.
+        msg: String,
+        /// Log time, µs since init.
+        t_us: u64,
+    },
+}
+
+impl Event {
+    /// The event's JSONL representation. Field order is fixed (and
+    /// alphabetical within each event kind) so the schema signature in
+    /// `trace.schema.golden` is stable.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::SpanOpen {
+                id,
+                parent,
+                name,
+                t_us,
+            } => Json::obj(vec![
+                ("ev", Json::str("span_open")),
+                ("id", Json::uint(*id)),
+                ("name", Json::str(name.clone())),
+                ("parent", Json::uint(*parent)),
+                ("t_us", Json::uint(*t_us)),
+            ]),
+            Event::SpanClose {
+                id,
+                t_us,
+                dur_us,
+                counters,
+            } => Json::obj(vec![
+                ("counters", counters_json(counters)),
+                ("dur_us", Json::uint(*dur_us)),
+                ("ev", Json::str("span_close")),
+                ("id", Json::uint(*id)),
+                ("t_us", Json::uint(*t_us)),
+            ]),
+            Event::Metric { name, kind, value } => Json::obj(vec![
+                ("ev", Json::str("metric")),
+                ("kind", Json::str(*kind)),
+                ("name", Json::str(name.clone())),
+                ("value", Json::Num(*value)),
+            ]),
+            Event::Progress { label, done, total } => Json::obj(vec![
+                ("done", Json::uint(*done)),
+                ("ev", Json::str("progress")),
+                ("label", Json::str(label.clone())),
+                ("total", Json::uint(*total)),
+            ]),
+            Event::Log { level, msg, t_us } => Json::obj(vec![
+                ("ev", Json::str("log")),
+                ("level", Json::str(*level)),
+                ("msg", Json::str(msg.clone())),
+                ("t_us", Json::uint(*t_us)),
+            ]),
+        }
+    }
+}
+
+fn counters_json(counters: &[(String, u64)]) -> Json {
+    let mut sorted: Vec<&(String, u64)> = counters.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(
+        sorted
+            .into_iter()
+            .map(|(k, v)| (k.clone(), Json::uint(*v)))
+            .collect(),
+    )
+}
+
+/// A destination for trace events. Sinks run under the recorder lock, so
+/// implementations should be quick; `flush` is called at shutdown.
+pub trait Sink {
+    /// Receives one event.
+    fn event(&mut self, ev: &Event);
+    /// Flushes buffered output (shutdown and end-of-command).
+    fn flush(&mut self) {}
+}
+
+/// JSONL sink: one event per line, flushed on every write so a crashed
+/// run still leaves a readable prefix.
+pub struct JsonlSink {
+    out: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the trace file.
+    pub fn create(path: &Path) -> Result<Self, String> {
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create trace file {}: {e}", path.display()))?;
+        Ok(JsonlSink {
+            out: BufWriter::new(file),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&mut self, ev: &Event) {
+        let _ = writeln!(self.out, "{}", ev.to_json().render());
+        let _ = self.out.flush();
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// In-memory sink capturing rendered JSONL lines — used by tests and by
+/// callers that want the event stream without touching the filesystem.
+#[derive(Default)]
+pub struct MemorySink {
+    /// The captured lines, in emission order.
+    pub lines: Vec<String>,
+}
+
+impl Sink for MemorySink {
+    fn event(&mut self, ev: &Event) {
+        self.lines.push(ev.to_json().render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_stable_schemas() {
+        let open = Event::SpanOpen {
+            id: 1,
+            parent: 0,
+            name: "root".into(),
+            t_us: 5,
+        };
+        assert_eq!(
+            open.to_json().render(),
+            "{\"ev\":\"span_open\",\"id\":1,\"name\":\"root\",\"parent\":0,\"t_us\":5}"
+        );
+        let close = Event::SpanClose {
+            id: 1,
+            t_us: 9,
+            dur_us: 4,
+            counters: vec![("b".into(), 2), ("a".into(), 1)],
+        };
+        assert_eq!(
+            close.to_json().render(),
+            "{\"counters\":{\"a\":1,\"b\":2},\"dur_us\":4,\"ev\":\"span_close\",\"id\":1,\"t_us\":9}"
+        );
+    }
+
+    #[test]
+    fn memory_sink_captures_lines() {
+        let mut m = MemorySink::default();
+        m.event(&Event::Progress {
+            label: "x".into(),
+            done: 1,
+            total: 2,
+        });
+        assert_eq!(m.lines.len(), 1);
+        assert!(m.lines[0].contains("\"ev\":\"progress\""));
+    }
+}

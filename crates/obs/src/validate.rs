@@ -1,0 +1,269 @@
+//! JSONL trace validation: parseability, span balance, and schema drift
+//! against the checked-in golden schema (`trace.schema.golden`).
+//!
+//! Used by the `tiling3d trace-check` subcommand and the CI trace gate, and
+//! by the golden tests that pin the schema across `--jobs` values.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::{self, Json};
+
+/// The schema signature of a trace: event kind → sorted `field:type` pairs.
+pub type Schema = BTreeMap<String, BTreeMap<String, &'static str>>;
+
+/// Outcome of validating one trace.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Lines validated.
+    pub lines: usize,
+    /// Events per kind.
+    pub events_by_kind: BTreeMap<String, usize>,
+    /// Distinct span names seen (jobs-invariant by construction).
+    pub span_names: BTreeSet<String>,
+    /// Derived schema signature.
+    pub schema: Schema,
+    /// Problems found; empty means the trace is valid.
+    pub errors: Vec<String>,
+}
+
+impl TraceReport {
+    /// True when no problems were found.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Human summary (one line per kind plus errors).
+    pub fn summary(&self) -> String {
+        let mut out = format!("{} lines", self.lines);
+        for (kind, n) in &self.events_by_kind {
+            out.push_str(&format!(", {n} {kind}"));
+        }
+        out.push('\n');
+        for e in &self.errors {
+            out.push_str(&format!("error: {e}\n"));
+        }
+        out
+    }
+}
+
+/// Parses a golden schema file: `kind field:type,field:type` lines,
+/// `#` comments and blanks ignored.
+pub fn parse_schema(text: &str) -> Result<Schema, String> {
+    let mut schema = Schema::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (kind, fields) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("schema line {}: expected 'kind fields'", lineno + 1))?;
+        let mut sig = BTreeMap::new();
+        for pair in fields.split(',') {
+            let (name, ty) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("schema line {}: bad pair '{pair}'", lineno + 1))?;
+            let ty = match ty {
+                "null" => "null",
+                "bool" => "bool",
+                "num" => "num",
+                "str" => "str",
+                "arr" => "arr",
+                "obj" => "obj",
+                other => {
+                    return Err(format!(
+                        "schema line {}: unknown type '{other}'",
+                        lineno + 1
+                    ))
+                }
+            };
+            sig.insert(name.to_string(), ty);
+        }
+        schema.insert(kind.to_string(), sig);
+    }
+    Ok(schema)
+}
+
+/// Validates a JSONL trace (as one string) against a golden schema:
+///
+/// 1. every line parses as a JSON object with a string `ev` field;
+/// 2. every `span_open` is balanced by exactly one `span_close` (and ids
+///    are unique);
+/// 3. every event kind present in the trace exists in the golden schema
+///    with an identical `field:type` signature (kinds absent from the trace
+///    are fine — a short run need not emit logs).
+pub fn check_trace_str(trace: &str, golden: &Schema) -> TraceReport {
+    let mut report = TraceReport {
+        lines: 0,
+        events_by_kind: BTreeMap::new(),
+        span_names: BTreeSet::new(),
+        schema: Schema::new(),
+        errors: Vec::new(),
+    };
+    let mut opened: BTreeMap<u64, bool> = BTreeMap::new(); // id -> closed
+    for (lineno, line) in trace.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                report.errors.push(format!("line {}: {e}", lineno + 1));
+                continue;
+            }
+        };
+        let Some(kind) = v.get("ev").and_then(Json::as_str) else {
+            report
+                .errors
+                .push(format!("line {}: missing string field 'ev'", lineno + 1));
+            continue;
+        };
+        let kind = kind.to_string();
+        *report.events_by_kind.entry(kind.clone()).or_insert(0) += 1;
+        let sig = v.field_types();
+        match report.schema.get(&kind) {
+            None => {
+                report.schema.insert(kind.clone(), sig.clone());
+            }
+            Some(prev) if prev != &sig => {
+                report.errors.push(format!(
+                    "line {}: '{kind}' signature differs within the trace",
+                    lineno + 1
+                ));
+            }
+            Some(_) => {}
+        }
+        match kind.as_str() {
+            "span_open" => {
+                let id = span_id(&v);
+                if let Some(name) = v.get("name").and_then(Json::as_str) {
+                    report.span_names.insert(name.to_string());
+                }
+                if opened.insert(id, false).is_some() {
+                    report
+                        .errors
+                        .push(format!("line {}: duplicate span id {id}", lineno + 1));
+                }
+            }
+            "span_close" => {
+                let id = span_id(&v);
+                match opened.get_mut(&id) {
+                    Some(closed @ false) => *closed = true,
+                    Some(true) => report
+                        .errors
+                        .push(format!("line {}: span {id} closed twice", lineno + 1)),
+                    None => report
+                        .errors
+                        .push(format!("line {}: close for unopened span {id}", lineno + 1)),
+                }
+            }
+            _ => {}
+        }
+    }
+    for (id, closed) in &opened {
+        if !closed {
+            report.errors.push(format!("span {id} never closed"));
+        }
+    }
+    for (kind, sig) in &report.schema {
+        match golden.get(kind) {
+            None => report
+                .errors
+                .push(format!("event kind '{kind}' not in golden schema")),
+            Some(gsig) if gsig != sig => report.errors.push(format!(
+                "schema drift for '{kind}': trace has {}, golden has {}",
+                render_sig(sig),
+                render_sig(gsig)
+            )),
+            Some(_) => {}
+        }
+    }
+    report
+}
+
+fn span_id(v: &Json) -> u64 {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    v.get("id")
+        .and_then(Json::as_f64)
+        .map(|f| f as u64)
+        .unwrap_or(0)
+}
+
+fn render_sig(sig: &BTreeMap<String, &'static str>) -> String {
+    sig.iter()
+        .map(|(k, t)| format!("{k}:{t}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GOLDEN_SCHEMA;
+
+    fn golden() -> Schema {
+        parse_schema(GOLDEN_SCHEMA).expect("golden schema parses")
+    }
+
+    #[test]
+    fn golden_schema_parses_and_covers_all_kinds() {
+        let g = golden();
+        for kind in ["span_open", "span_close", "metric", "progress", "log"] {
+            assert!(g.contains_key(kind), "golden missing {kind}");
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let trace = "\
+{\"ev\":\"span_open\",\"id\":1,\"name\":\"root\",\"parent\":0,\"t_us\":0}\n\
+{\"counters\":{},\"dur_us\":5,\"ev\":\"span_close\",\"id\":1,\"t_us\":5}\n\
+{\"ev\":\"metric\",\"kind\":\"counter\",\"name\":\"x\",\"value\":3}\n";
+        let r = check_trace_str(trace, &golden());
+        assert!(r.is_ok(), "{}", r.summary());
+        assert_eq!(r.lines, 3);
+        assert!(r.span_names.contains("root"));
+    }
+
+    #[test]
+    fn unbalanced_spans_and_garbage_are_errors() {
+        let trace = "\
+{\"ev\":\"span_open\",\"id\":1,\"name\":\"root\",\"parent\":0,\"t_us\":0}\n\
+not json\n";
+        let r = check_trace_str(trace, &golden());
+        assert!(!r.is_ok());
+        assert!(
+            r.errors.iter().any(|e| e.contains("never closed")),
+            "{:?}",
+            r.errors
+        );
+        assert!(
+            r.errors.iter().any(|e| e.contains("line 2")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn schema_drift_is_detected() {
+        // span_open with an extra field not in the golden signature.
+        let trace = "\
+{\"ev\":\"span_open\",\"extra\":true,\"id\":1,\"name\":\"r\",\"parent\":0,\"t_us\":0}\n\
+{\"counters\":{},\"dur_us\":1,\"ev\":\"span_close\",\"id\":1,\"t_us\":1}\n";
+        let r = check_trace_str(trace, &golden());
+        assert!(
+            r.errors.iter().any(|e| e.contains("schema drift")),
+            "{:?}",
+            r.errors
+        );
+        // An event kind the golden file has never heard of.
+        let trace = "{\"ev\":\"mystery\"}\n";
+        let r = check_trace_str(trace, &golden());
+        assert!(
+            r.errors.iter().any(|e| e.contains("not in golden schema")),
+            "{:?}",
+            r.errors
+        );
+    }
+}

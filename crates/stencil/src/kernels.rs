@@ -85,6 +85,9 @@ impl Kernel {
 
     /// The stencil shape tile selection should plan for. Red-black plans
     /// for the *fused* schedule (ATD 4), since that is what gets tiled.
+    ///
+    /// See also the [`std::str::FromStr`] impl, the one spelling-to-kernel
+    /// mapping shared by the CLI and every bench driver.
     pub fn shape(self) -> StencilShape {
         match self {
             Kernel::Jacobi => StencilShape::jacobi3d(),
@@ -232,6 +235,13 @@ impl Kernel {
         tile: Option<(usize, usize)>,
         sink: &mut S,
     ) {
+        let _span = if tiling3d_obs::collecting() {
+            let s = tiling3d_obs::span(&format!("trace:{}", self.name()));
+            s.add("points", (n * n * nk) as u64);
+            Some(s)
+        } else {
+            None
+        };
         let t = tile.map(|(ti, tj)| TileDims::new(ti, tj));
         match self {
             Kernel::Jacobi => jacobi3d::trace(n, n, nk, di, dj, t, sink),
@@ -314,11 +324,45 @@ impl Kernel {
     }
 }
 
+impl std::str::FromStr for Kernel {
+    type Err = String;
+
+    /// Parses a kernel name, case-insensitively, accepting the paper's
+    /// table spellings plus the aliases the drivers have historically
+    /// taken (`rb`, `red-black`, `mgrid`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "jacobi" => Ok(Kernel::Jacobi),
+            "redblack" | "red-black" | "rb" => Ok(Kernel::RedBlack),
+            "resid" | "mgrid" => Ok(Kernel::Resid),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected jacobi, redblack, or resid)"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tiling3d_cachesim::CountingSink;
     use tiling3d_core::{plan, CacheSpec, Transform};
+
+    #[test]
+    fn kernel_from_str_round_trips_every_variant() {
+        for k in Kernel::ALL {
+            assert_eq!(k.name().parse::<Kernel>().unwrap(), k);
+            assert_eq!(k.name().to_ascii_lowercase().parse::<Kernel>().unwrap(), k);
+        }
+        for (alias, want) in [
+            ("rb", Kernel::RedBlack),
+            ("red-black", Kernel::RedBlack),
+            ("mgrid", Kernel::Resid),
+        ] {
+            assert_eq!(alias.parse::<Kernel>().unwrap(), want);
+        }
+        assert!("sor".parse::<Kernel>().is_err());
+    }
 
     #[test]
     fn state_and_run_work_for_every_kernel_and_transform() {

@@ -50,4 +50,5 @@ pub use tiling3d_core as core;
 pub use tiling3d_grid as grid;
 pub use tiling3d_loopnest as loopnest;
 pub use tiling3d_multigrid as multigrid;
+pub use tiling3d_obs as obs;
 pub use tiling3d_stencil as stencil;
