@@ -1,0 +1,148 @@
+//! Micro-benchmark of the row-segment execution engine vs the per-point
+//! reference sweeps, per kernel x transform, plus K-slab thread scaling.
+//!
+//! Emits `BENCH_stencil.json` at the repository root: GFLOP/s per arm and
+//! an engine-vs-per-point speedup per kernel x transform. Sizes are
+//! cache-resident by default so the comparison isolates loop overhead
+//! (bounds checks, per-point dispatch, vectorization) rather than DRAM
+//! bandwidth.
+//!
+//! ```text
+//! cargo bench -p tiling3d-bench --bench stencil            # full
+//! cargo bench -p tiling3d-bench --bench stencil -- --quick # CI smoke
+//! cargo bench -p tiling3d-bench --bench stencil -- --jobs 4
+//! ```
+
+use std::hint::black_box;
+
+use tiling3d_bench::microbench::{run, run_pair, to_json, Measurement};
+use tiling3d_bench::{plan_for, SimPool, SweepConfig};
+use tiling3d_core::Transform;
+use tiling3d_loopnest::TileDims;
+use tiling3d_stencil::kernels::{Kernel, KernelState};
+use tiling3d_stencil::redblack::Schedule;
+use tiling3d_stencil::reference;
+use tiling3d_stencil::resid::Coeffs;
+
+/// Runs one per-point reference sweep on harness-allocated state — the
+/// baseline arm of every A/B pair.
+fn run_reference(kernel: Kernel, state: &mut KernelState, tile: Option<(usize, usize)>) {
+    let t = tile.map(|(ti, tj)| TileDims::new(ti, tj));
+    match (kernel, state) {
+        (Kernel::Jacobi, KernelState::Jacobi { a, b }) => {
+            reference::jacobi3d(a, b, 1.0 / 6.0, t);
+        }
+        (Kernel::RedBlack, KernelState::RedBlack { a }) => {
+            let sched = match t {
+                None => Schedule::Naive,
+                Some(t) => Schedule::Tiled(t),
+            };
+            reference::redblack(a, 0.4, 0.1, sched);
+        }
+        (Kernel::Resid, KernelState::Resid { r, u, v }) => {
+            reference::resid(r, u, v, &Coeffs::MGRID_A, t);
+        }
+        _ => panic!("kernel/state mismatch"),
+    }
+}
+
+fn out_of(state: &KernelState) -> &tiling3d_grid::Array3<f64> {
+    match state {
+        KernelState::Jacobi { a, .. } => a,
+        KernelState::RedBlack { a } => a,
+        KernelState::Resid { r, .. } => r,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let (n, nk) = if quick { (64, 8) } else { (128, 16) };
+    let cfg = SweepConfig {
+        nk,
+        ..Default::default()
+    };
+    let cores = SimPool::new(jobs).jobs();
+
+    println!("{:<44}{:>22}{:>19}", "benchmark", "time", "throughput");
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut derived: Vec<(String, f64)> = Vec::new();
+
+    for kernel in Kernel::ALL {
+        let flops = kernel.sweep_flops(n, nk);
+        for t in [Transform::Orig, Transform::GcdPad] {
+            let p = plan_for(&cfg, kernel, t, n);
+
+            // Golden guard before timing: one engine sweep and one
+            // reference sweep from identical state must agree bitwise.
+            let mut eng_check = kernel.make_state(n, nk, &p, 0x5EED);
+            let mut ref_check = eng_check.clone();
+            kernel.run(&mut eng_check, p.tile);
+            run_reference(kernel, &mut ref_check, p.tile);
+            assert!(
+                out_of(&eng_check).logical_eq(out_of(&ref_check)),
+                "{}/{}: engine diverged from per-point reference",
+                kernel.name(),
+                t.name()
+            );
+
+            let mut eng_state = kernel.make_state(n, nk, &p, 0x5EED);
+            let mut ref_state = eng_state.clone();
+            let (eng, reference) = run_pair(
+                &format!("{}/{}/engine", kernel.name(), t.name()),
+                &format!("{}/{}/perpoint", kernel.name(), t.name()),
+                Some(flops),
+                || kernel.run(black_box(&mut eng_state), p.tile),
+                || run_reference(kernel, black_box(&mut ref_state), p.tile),
+            );
+            let key = format!("{}_{}", kernel.name(), t.name());
+            if let (Some(fast), Some(slow)) = (eng.per_sec(), reference.per_sec()) {
+                derived.push((format!("speedup_{key}"), fast / slow));
+                derived.push((format!("gflops_{key}_engine"), fast / 1e9));
+                derived.push((format!("gflops_{key}_perpoint"), slow / 1e9));
+            }
+            results.extend([eng, reference]);
+        }
+
+        // K-slab thread scaling on the tiled plan, all three kernels
+        // (red-black runs its two-phase colour-barrier sweep).
+        let p = plan_for(&cfg, kernel, Transform::GcdPad, n);
+        let mut threads: Vec<usize> = vec![1, 2, cores];
+        threads.sort_unstable();
+        threads.dedup();
+        for th in threads {
+            let mut state = kernel.make_state(n, nk, &p, 0x5EED);
+            let m = run(
+                &format!("{}/parallel/t{th}", kernel.name()),
+                Some(flops),
+                || kernel.run_parallel(black_box(&mut state), p.tile, th),
+            );
+            if let Some(rate) = m.per_sec() {
+                derived.push((format!("gflops_{}_t{th}", kernel.name()), rate / 1e9));
+            }
+            results.push(m);
+        }
+    }
+
+    println!("\nderived (row engine vs per-point reference, GFLOP/s):");
+    for (k, v) in &derived {
+        if k.starts_with("speedup") {
+            println!("  {k:<42}{v:>8.2}x");
+        } else {
+            println!("  {k:<42}{v:>8.2}");
+        }
+    }
+
+    let json = to_json("stencil", &results, &derived);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stencil.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -11,7 +11,9 @@
 //! cargo run --release -p tiling3d-bench --bin fig_perf -- redblack [--min 200 --max 400 --step 8 --reps 3 --csv]
 //! ```
 
-use tiling3d_bench::{driver, run_sweep, Metric, SweepConfig};
+use tiling3d_bench::{
+    driver, measure_mflops_parallel, run_sweep, Metric, SweepConfig, SweepResult,
+};
 use tiling3d_core::Transform;
 use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
@@ -24,6 +26,10 @@ fn flag_set() -> FlagSet {
         "model MFlops from simulated misses instead of wall-clock",
     ));
     flags.push(FlagSpec::switch("--plot", "render an ASCII plot"));
+    flags.push(FlagSpec::switch(
+        "--parallel",
+        "measure the K-slab parallel sweeps across --jobs threads",
+    ));
     FlagSet::new(
         "fig_perf",
         "per-size MFlops per kernel (Figs 15/17/19/21)",
@@ -68,7 +74,29 @@ fn main() {
             "(modeled from simulated misses at UltraSparc2-era penalties; see EXPERIMENTS.md)"
         );
     }
-    let perf = run_sweep(&cfg, kernel, &Transform::ALL, metric);
+    let perf = if flags.switch("--parallel") {
+        // K-slab parallel wall-clock sweep: bitwise identical results to
+        // the sequential sweep, so the delta is pure thread scaling.
+        println!("(K-slab parallel sweeps, --jobs {})", cfg.jobs);
+        let rows = cfg
+            .sizes()
+            .into_iter()
+            .map(|n| {
+                let vals = Transform::ALL
+                    .iter()
+                    .map(|&t| measure_mflops_parallel(&cfg, kernel, t, n, cfg.jobs))
+                    .collect();
+                (n, vals)
+            })
+            .collect();
+        SweepResult {
+            metric: "MFlops (parallel)",
+            transforms: Transform::ALL.to_vec(),
+            rows,
+        }
+    } else {
+        run_sweep(&cfg, kernel, &Transform::ALL, metric)
+    };
     perf.print(csv);
     if flags.switch("--plot") {
         println!("\n{}", tiling3d_bench::plot::render(&perf, 6));

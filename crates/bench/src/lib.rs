@@ -245,6 +245,31 @@ pub fn measure_mflops(cfg: &SweepConfig, kernel: Kernel, t: Transform, n: usize)
     flops / best / 1e6
 }
 
+/// Like [`measure_mflops`] but running the K-slab parallel sweeps
+/// ([`tiling3d_stencil::parallel`]) across `threads` workers (`0` = one
+/// per available core). Results are bitwise identical to the sequential
+/// sweep for every thread count, so this measures pure scaling.
+pub fn measure_mflops_parallel(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    t: Transform,
+    n: usize,
+    threads: usize,
+) -> f64 {
+    let threads = SimPool::new(threads).jobs();
+    let p = plan_for(cfg, kernel, t, n);
+    let mut state = kernel.make_state(n, cfg.nk, &p, 0x5EED);
+    kernel.run_parallel(&mut state, p.tile, threads); // warm-up (and page-in)
+    let flops = kernel.sweep_flops(n, cfg.nk) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps.max(1) {
+        let t0 = Instant::now();
+        kernel.run_parallel(&mut state, p.tile, threads);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    flops / best / 1e6
+}
+
 /// Model-derived MFlops from a cache simulation: every access costs one
 /// cycle, an L1 miss adds `10`, an L2 miss adds `60` (UltraSparc2-era
 /// penalties), clocked at 360 MHz like the paper's machine.

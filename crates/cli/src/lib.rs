@@ -12,6 +12,7 @@
 //! tiling3d simulate    --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N]
 //! tiling3d predict     --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
 //! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew]
+//! tiling3d measure     --kernel redblack --n 192 [--nk 30] [--transform orig] [--reps 3] [--jobs N]
 //! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl]
 //! tiling3d trace-check trace.jsonl [--schema schema.golden]
 //! ```
@@ -33,9 +34,18 @@
 //! known-illegal case, which the analyzer rejects with the broken distance
 //! vector as witness.
 //!
+//! `measure` wall-clocks the row-segment execution engine at one size:
+//! sequential GFLOP/s plus the K-slab parallel sweep across `--jobs`
+//! threads, after asserting the parallel result is bitwise identical to
+//! the sequential one (jobs-invariance is a hard guarantee, so a mismatch
+//! is an error, not a warning).
+//!
 //! `profile` runs the planning + simulation pipeline at a single size with
-//! collection forced on and prints the span tree with per-phase wall-clock
-//! percentages (plus the final metric registry); `trace-check` validates a
+//! collection forced on, then one parallel compute sweep under a
+//! `compute:<KERNEL>` span (red-black shows its `redblack:red` /
+//! `redblack:black` colour phases as children), and prints the span tree
+//! with per-phase wall-clock percentages (plus the final metric
+//! registry); `trace-check` validates a
 //! JSONL trace file against the checked-in golden schema — the CI gate for
 //! trace-schema drift.
 
@@ -103,6 +113,11 @@ pub const COMMANDS: &[CommandDef] = &[
         name: "analyze",
         flag_set: analyze_flags,
         run: cmd_analyze,
+    },
+    CommandDef {
+        name: "measure",
+        flag_set: measure_flags,
+        run: cmd_measure,
     },
     CommandDef {
         name: "profile",
@@ -678,6 +693,108 @@ fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
 }
 
 // ---------------------------------------------------------------------------
+// measure
+// ---------------------------------------------------------------------------
+
+fn measure_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d measure",
+        "wall-clock the row-engine sweep, sequential vs K-slab parallel",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--n", Some("128"), "problem size N"),
+            NK_FLAG,
+            FlagSpec::str(
+                "--transform",
+                Some("orig"),
+                "transformation to run (orig|euc3d|tile|pad|gcdpad)",
+            ),
+            FlagSpec::usize("--reps", Some("3"), "timed repetitions (best-of)"),
+            JOBS_FLAG,
+        ],
+    )
+}
+
+/// `measure`: wall-clocks one kernel at one size on the row-segment
+/// execution engine — the sequential sweep and the K-slab parallel sweep
+/// across `--jobs` threads. Before timing, the parallel result is checked
+/// bitwise against the sequential one from identical initial state;
+/// jobs-invariance is a hard guarantee of the engine, so any divergence
+/// is an `Err`, not a warning.
+fn cmd_measure(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.usize("--n");
+    if n < 3 {
+        return Err("measure requires --n >= 3".into());
+    }
+    let t: Transform = flags.str("--transform").parse()?;
+    let cfg = SweepConfig {
+        n_min: n,
+        n_max: n,
+        step: 1,
+        nk: flags.usize("--nk"),
+        reps: flags.usize("--reps").max(1),
+        jobs: flags.usize("--jobs"),
+        ..SweepConfig::default()
+    };
+    let jobs = cfg.pool().jobs();
+    let p = tiling3d_bench::plan_for(&cfg, kernel, t, n);
+
+    // Jobs-invariance gate: the parallel sweep must reproduce the
+    // sequential sweep bit for bit from the same initial state.
+    let mut seq = kernel.make_state(n, cfg.nk, &p, 0x5EED);
+    let mut par = seq.clone();
+    kernel.run(&mut seq, p.tile);
+    kernel.run_parallel(&mut par, p.tile, jobs);
+    if !state_out(&seq).logical_eq(state_out(&par)) {
+        return Err(format!(
+            "measure: parallel {} sweep diverged from sequential at N = {n}, --jobs {jobs}",
+            kernel.name()
+        ));
+    }
+
+    let flops = kernel.sweep_flops(n, cfg.nk) as f64;
+    let seq_mflops = tiling3d_bench::measure_mflops(&cfg, kernel, t, n);
+    let par_mflops = tiling3d_bench::measure_mflops_parallel(&cfg, kernel, t, n, cfg.jobs);
+    let mut out = format!(
+        "measure: {} {n}x{n}x{} ({}, {}), {:.0} MFlop/sweep\n",
+        kernel.name(),
+        cfg.nk,
+        t.name(),
+        p.tile
+            .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
+        flops / 1e6,
+    );
+    out.push_str("parallel result verified bitwise against sequential\n\n");
+    let _ = writeln!(out, "{:<24}{:>12}{:>12}", "arm", "GFLOP/s", "speedup");
+    let _ = writeln!(
+        out,
+        "{:<24}{:>12.3}{:>12}",
+        "sequential",
+        seq_mflops / 1e3,
+        "1.00x"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24}{:>12.3}{:>11.2}x",
+        format!("parallel (--jobs {jobs})"),
+        par_mflops / 1e3,
+        par_mflops / seq_mflops
+    );
+    Ok(out)
+}
+
+/// The output array of a kernel state — the one a sweep writes.
+fn state_out(state: &tiling3d_stencil::kernels::KernelState) -> &tiling3d_grid::Array3<f64> {
+    use tiling3d_stencil::kernels::KernelState;
+    match state {
+        KernelState::Jacobi { a, .. } | KernelState::RedBlack { a } => a,
+        KernelState::Resid { r, .. } => r,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // profile
 // ---------------------------------------------------------------------------
 
@@ -696,8 +813,10 @@ fn profile_flags() -> FlagSet {
 }
 
 /// `profile`: plans and simulates every transformation at one size with
-/// span collection forced on, then renders the span tree (per-phase
-/// wall-clock percentages, attached counters) and the metric registry.
+/// span collection forced on, runs one parallel compute sweep under a
+/// `compute:<KERNEL>` span (red-black shows its two colour half-sweep
+/// phases as children), then renders the span tree (per-phase wall-clock
+/// percentages, attached counters) and the metric registry.
 /// `--trace-out` additionally streams the JSONL events; `--jobs N` shows
 /// the per-worker `SimPool` spans.
 fn cmd_profile(flags: &ParsedFlags) -> Result<String, String> {
@@ -718,6 +837,22 @@ fn cmd_profile(flags: &ParsedFlags) -> Result<String, String> {
         ..SweepConfig::default()
     };
     let (rows, tp) = simulate_grid(&cfg, kernel, &Transform::ALL);
+
+    // One parallel sweep on the row-segment engine under a fixed-name
+    // span, so the compute phase shows up in the tree next to the
+    // simulation phases. Red-black nests its `redblack:red` /
+    // `redblack:black` colour half-sweeps underneath.
+    {
+        let _compute = obs::span(match kernel {
+            Kernel::Jacobi => "compute:JACOBI",
+            Kernel::RedBlack => "compute:REDBLACK",
+            Kernel::Resid => "compute:RESID",
+        });
+        let p = tiling3d_bench::plan_for(&cfg, kernel, Transform::GcdPad, n);
+        let mut state = kernel.make_state(n, cfg.nk, &p, 0x5EED);
+        kernel.run_parallel(&mut state, p.tile, cfg.pool().jobs());
+    }
+
     let trace = obs::shutdown().ok_or("profile: no trace collected")?;
 
     let mut out = format!(

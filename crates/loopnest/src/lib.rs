@@ -47,6 +47,7 @@
 pub mod dependence;
 mod ir;
 pub mod legality;
+mod rows;
 mod shape;
 mod space;
 mod verify;
@@ -55,6 +56,7 @@ pub mod reuse;
 
 pub use ir::{ArrayDesc, ArrayRef, Dim, Loop, LoopKind, Nest, Trace};
 pub use legality::{certify, Dep, DepSet, LegalityCertificate, Schedule, Verdict, Violation};
+pub use rows::{for_each_rows, for_each_tiled_rows, stride2_clip, stride2_last};
 pub use shape::StencilShape;
 pub use space::{for_each, for_each_tiled, IterSpace, TileDims};
 pub use verify::VerifyError;

@@ -1,0 +1,148 @@
+//! Row-segment visitors: the iteration layer of the row execution engine.
+//!
+//! [`for_each`](crate::for_each) and [`for_each_tiled`](crate::for_each_tiled)
+//! hand the kernel one point at a time, which forces per-point index
+//! arithmetic and per-point bounds checks into every stencil hot loop. The
+//! visitors here walk the *same* schedules but yield one contiguous
+//! unit-stride row segment `(i0..=i1, j, k)` per callback, so a sweep can
+//! slice its operands once per row and let LLVM eliminate the bounds checks
+//! and vectorize the `I` loop. Expanding every segment left-to-right
+//! reproduces the point visitors' orders exactly — the equivalence the
+//! golden tests in `tiling3d-stencil` rely on.
+//!
+//! Red-black sweeps update stride-2 lattices within a row; the
+//! [`stride2_clip`] / [`stride2_last`] helpers clip such a lattice to a tile
+//! without changing which points it contains.
+
+use crate::space::{IterSpace, TileDims};
+
+/// Walks `space` in the original Fortran order (`K` outermost, then `J`),
+/// yielding the unit-stride row segment `(i0, i1, j, k)` (inclusive bounds)
+/// of each `(j, k)` pair. Expanding each segment left-to-right reproduces
+/// [`for_each`](crate::for_each)'s point order exactly.
+#[inline]
+pub fn for_each_rows(space: IterSpace, mut row: impl FnMut(usize, usize, usize, usize)) {
+    let (i0, i1) = (space.lo.0, space.hi.0);
+    for k in space.lo.2..=space.hi.2 {
+        for j in space.lo.1..=space.hi.1 {
+            row(i0, i1, j, k);
+        }
+    }
+}
+
+/// Walks `space` in the paper's tiled order (Fig 6: `JJ`/`II` outer, then
+/// `K`/`J`), yielding the unit-stride row segment of each `(tile, k, j)`
+/// step. Expanding each segment left-to-right reproduces
+/// [`for_each_tiled`](crate::for_each_tiled)'s point order exactly.
+#[inline]
+pub fn for_each_tiled_rows(
+    space: IterSpace,
+    tile: TileDims,
+    mut row: impl FnMut(usize, usize, usize, usize),
+) {
+    let (i0, j0, k0) = space.lo;
+    let (i1, j1, k1) = space.hi;
+    let mut jj = j0;
+    while jj <= j1 {
+        let j_hi = (jj + tile.tj - 1).min(j1);
+        let mut ii = i0;
+        while ii <= i1 {
+            let i_hi = (ii + tile.ti - 1).min(i1);
+            for k in k0..=k1 {
+                for j in jj..=j_hi {
+                    row(ii, i_hi, j, k);
+                }
+            }
+            ii += tile.ti;
+        }
+        jj += tile.tj;
+    }
+}
+
+/// First member of the stride-2 lattice `{ i : i >= first, i ≡ first (mod 2) }`
+/// that lies in `[lo, hi]`, or `None` when the clipped segment is empty.
+/// Red-black tiles use this to restrict one color's row lattice to a tile's
+/// `I` range without changing which points belong to the color.
+#[inline]
+pub fn stride2_clip(first: usize, lo: usize, hi: usize) -> Option<usize> {
+    let start = if first >= lo {
+        first
+    } else {
+        lo + ((lo ^ first) & 1)
+    };
+    (start <= hi).then_some(start)
+}
+
+/// Last index `<= hi` reachable from `first` in steps of 2. Requires
+/// `first <= hi`; together with `first` this closes a stride-2 row segment.
+#[inline]
+pub fn stride2_last(first: usize, hi: usize) -> usize {
+    debug_assert!(first <= hi);
+    hi - ((hi - first) % 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{for_each, for_each_tiled};
+
+    fn expand(rows: &[(usize, usize, usize, usize)]) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for &(i0, i1, j, k) in rows {
+            for i in i0..=i1 {
+                out.push((i, j, k));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rows_expand_to_the_original_point_order() {
+        let s = IterSpace::interior(9, 7, 5);
+        let mut pts = Vec::new();
+        for_each(s, |i, j, k| pts.push((i, j, k)));
+        let mut rows = Vec::new();
+        for_each_rows(s, |i0, i1, j, k| rows.push((i0, i1, j, k)));
+        assert_eq!(expand(&rows), pts);
+        // One segment per (j, k) pair, each spanning the full I extent.
+        assert_eq!(rows.len(), 5 * 3);
+        assert!(rows.iter().all(|&(i0, i1, _, _)| (i0, i1) == (1, 7)));
+    }
+
+    #[test]
+    fn tiled_rows_expand_to_the_tiled_point_order() {
+        let s = IterSpace::interior(13, 11, 7);
+        for &(ti, tj) in &[(1, 1), (3, 4), (5, 2), (100, 100), (7, 1), (1, 9)] {
+            let tile = TileDims::new(ti, tj);
+            let mut pts = Vec::new();
+            for_each_tiled(s, tile, |i, j, k| pts.push((i, j, k)));
+            let mut rows = Vec::new();
+            for_each_tiled_rows(s, tile, |i0, i1, j, k| rows.push((i0, i1, j, k)));
+            assert_eq!(expand(&rows), pts, "order mismatch under ({ti},{tj})");
+        }
+    }
+
+    #[test]
+    fn stride2_clip_preserves_lattice_membership() {
+        // Clipping [first, hi] by [lo, hi'] keeps exactly the lattice points
+        // inside the intersection.
+        for first in 1..=4usize {
+            for lo in 0..=8usize {
+                for hi in 0..=10usize {
+                    let naive: Vec<usize> = (first..=10)
+                        .step_by(2)
+                        .filter(|i| (lo..=hi).contains(i))
+                        .collect();
+                    match stride2_clip(first, lo, hi.min(10)) {
+                        None => assert!(naive.is_empty(), "({first},{lo},{hi})"),
+                        Some(start) => {
+                            let last = stride2_last(start, hi.min(10));
+                            let got: Vec<usize> = (start..=last).step_by(2).collect();
+                            assert_eq!(got, naive, "({first},{lo},{hi})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -15,6 +15,8 @@ use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
 use tiling3d_loopnest::TileDims;
 
+use crate::rowexec;
+
 /// Tiled 3D Jacobi where each tile's `(TI+2) x (TJ+2) x 3` input window is
 /// copied into a contiguous rolling buffer before the tile plane is
 /// computed. Results are bitwise identical to `jacobi3d::sweep`.
@@ -73,20 +75,22 @@ pub fn sweep_tiled_copying(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: T
                     bw,
                 );
                 let (lo, mid, hi) = ((k - 1) % 3, k % 3, (k + 1) % 3);
+                let len = i_hi - ii + 1;
                 for j in jj..=j_hi {
                     let lj = j - jj + 1; // local (haloed) j
-                    for i in ii..=i_hi {
-                        let li = i - ii + 1;
-                        let lidx = li + lj * bw;
-                        let p = |slot: usize, idx: usize| buf[slot * bplane + idx];
-                        av[i + j * di + k * ps] = c
-                            * (p(mid, lidx - 1)
-                                + p(mid, lidx + 1)
-                                + p(mid, lidx - bw)
-                                + p(mid, lidx + bw)
-                                + p(lo, lidx)
-                                + p(hi, lidx));
-                    }
+                                         // Local row start (li = 1) in the mid buffer plane.
+                    let llo = mid * bplane + 1 + lj * bw;
+                    let out = ii + j * di + k * ps;
+                    rowexec::jacobi3d_row(
+                        &mut av[out..out + len],
+                        &buf[llo - 1..],
+                        &buf[llo + 1..],
+                        &buf[llo - bw..],
+                        &buf[llo + bw..],
+                        &buf[lo * bplane + 1 + lj * bw..],
+                        &buf[hi * bplane + 1 + lj * bw..],
+                        c,
+                    );
                 }
             }
             ii += ti;
@@ -108,13 +112,13 @@ fn copy_plane(
     ps: usize,
     bw: usize,
 ) {
-    // Copy rows [ii-1 ..= i_hi+1] x [jj-1 ..= j_hi+1] of plane k.
+    // Copy rows [ii-1 ..= i_hi+1] x [jj-1 ..= j_hi+1] of plane k, one
+    // contiguous row at a time.
+    let w = i_hi - ii + 3;
     for j in (jj - 1)..=(j_hi + 1) {
         let lj = j - (jj - 1);
-        for i in (ii - 1)..=(i_hi + 1) {
-            let li = i - (ii - 1);
-            dst[li + lj * bw] = bv[i + j * di + k * ps];
-        }
+        let src = (ii - 1) + j * di + k * ps;
+        dst[lj * bw..lj * bw + w].copy_from_slice(&bv[src..src + w]);
     }
 }
 

@@ -8,25 +8,40 @@
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array2;
 
+use crate::rowexec;
+
 /// FLOPs per interior point (3 adds + 1 multiply).
 pub const FLOPS_PER_POINT: u64 = 4;
 
 /// One untiled 2D Jacobi sweep:
 /// `A(I,J) = C*(B(I-1,J)+B(I+1,J)+B(I,J-1)+B(I,J+1))`.
 ///
+/// Runs on the row engine; bitwise identical to
+/// [`crate::reference::jacobi2d`].
+///
 /// # Panics
 /// Panics if extents mismatch.
 pub fn sweep(a: &mut Array2<f64>, b: &Array2<f64>, c: f64) {
     assert_eq!((a.ni(), a.nj(), a.di()), (b.ni(), b.nj(), b.di()));
+    let (ni, nj) = (b.ni(), b.nj());
+    if ni < 3 || nj < 3 {
+        return;
+    }
     let di = b.di();
     let (av, bv) = (a.as_mut_slice(), b.as_slice());
-    for j in 1..b.nj() - 1 {
-        let row = j * di;
-        for i in 1..b.ni() - 1 {
-            let idx = row + i;
-            av[idx] = c * (bv[idx - 1] + bv[idx + 1] + bv[idx - di] + bv[idx + di]);
-        }
+    let len = ni - 2;
+    for j in 1..nj - 1 {
+        let lo = j * di + 1;
+        rowexec::jacobi2d_row(
+            &mut av[lo..lo + len],
+            &bv[lo - 1..],
+            &bv[lo + 1..],
+            &bv[lo - di..],
+            &bv[lo + di..],
+            c,
+        );
     }
+    rowexec::note_sweep(((ni - 2) * (nj - 2)) as u64, FLOPS_PER_POINT);
 }
 
 /// Replays the address trace of one 2D sweep (`A` at byte 0, `B`

@@ -8,7 +8,9 @@
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
-use tiling3d_loopnest::{for_each_tiled, IterSpace, TileDims};
+use tiling3d_loopnest::{for_each_rows, for_each_tiled, for_each_tiled_rows, IterSpace, TileDims};
+
+use crate::rowexec;
 
 /// Floating-point operations per interior point (5 adds + 1 multiply).
 pub const FLOPS_PER_POINT: u64 = 6;
@@ -18,28 +20,16 @@ pub fn sweep_flops(ni: usize, nj: usize, nk: usize) -> u64 {
     IterSpace::interior(ni, nj, nk).points() * FLOPS_PER_POINT
 }
 
-#[inline(always)]
-fn update(a: &mut [f64], b: &[f64], idx: usize, di: usize, ps: usize, c: f64) {
-    a[idx] = c * (b[idx - 1] + b[idx + 1] + b[idx - di] + b[idx + di] + b[idx - ps] + b[idx + ps]);
-}
-
 /// One untiled sweep (`Orig` order: `K`/`J`/`I`).
+///
+/// Runs on the row engine ([`rowexec`]); bitwise identical to the
+/// per-point reference in [`crate::reference::jacobi3d`].
 ///
 /// # Panics
 /// Panics if the two arrays differ in logical or allocated extents.
 pub fn sweep(a: &mut Array3<f64>, b: &Array3<f64>, c: f64) {
     check_pair(a, b);
-    let (di, ps) = (b.di(), b.plane_stride());
-    let space = IterSpace::interior(b.ni(), b.nj(), b.nk());
-    let (av, bv) = (a.as_mut_slice(), b.as_slice());
-    for k in space.lo.2..=space.hi.2 {
-        for j in space.lo.1..=space.hi.1 {
-            let row = j * di + k * ps;
-            for i in space.lo.0..=space.hi.0 {
-                update(av, bv, row + i, di, ps, c);
-            }
-        }
-    }
+    sweep_impl(a, b, c, None);
 }
 
 /// One tiled sweep in the Fig 6 schedule (`JJ`/`II`/`K`/`J`/`I`).
@@ -48,12 +38,32 @@ pub fn sweep(a: &mut Array3<f64>, b: &Array3<f64>, c: f64) {
 /// hence the cache behaviour) changes.
 pub fn sweep_tiled(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: TileDims) {
     check_pair(a, b);
+    sweep_impl(a, b, c, Some(tile));
+}
+
+fn sweep_impl(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: Option<TileDims>) {
     let (di, ps) = (b.di(), b.plane_stride());
     let space = IterSpace::interior(b.ni(), b.nj(), b.nk());
     let (av, bv) = (a.as_mut_slice(), b.as_slice());
-    for_each_tiled(space, tile, |i, j, k| {
-        update(av, bv, i + j * di + k * ps, di, ps, c);
-    });
+    let row = |i0: usize, i1: usize, j: usize, k: usize| {
+        let lo = j * di + k * ps + i0;
+        let len = i1 - i0 + 1;
+        rowexec::jacobi3d_row(
+            &mut av[lo..lo + len],
+            &bv[lo - 1..],
+            &bv[lo + 1..],
+            &bv[lo - di..],
+            &bv[lo + di..],
+            &bv[lo - ps..],
+            &bv[lo + ps..],
+            c,
+        );
+    };
+    match tile {
+        None => for_each_rows(space, row),
+        Some(t) => for_each_tiled_rows(space, t, row),
+    }
+    rowexec::note_sweep(space.points(), FLOPS_PER_POINT);
 }
 
 /// Replays the exact address trace of one sweep into `sink`.

@@ -14,7 +14,7 @@ use tiling3d_core::{
 use tiling3d_grid::{fill_random, Array3};
 use tiling3d_loopnest::{StencilShape, TileDims};
 
-use crate::{jacobi3d, redblack, resid};
+use crate::{jacobi3d, parallel, redblack, resid};
 
 /// How the kernel's arrays are placed in the simulated address space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,6 +177,36 @@ impl Kernel {
             }
             (Kernel::Resid, KernelState::Resid { r, u, v }) => {
                 resid::sweep(r, u, v, &resid::Coeffs::MGRID_A, t);
+            }
+            _ => panic!("kernel/state mismatch"),
+        }
+    }
+
+    /// Runs one sweep across `threads` K-slabs (see [`crate::parallel`]).
+    ///
+    /// Bitwise identical to [`Kernel::run`] with the same tile for every
+    /// thread count; red-black runs its two colour phases under a global
+    /// barrier.
+    ///
+    /// # Panics
+    /// Panics if `state` was built for a different kernel or
+    /// `threads == 0`.
+    pub fn run_parallel(
+        self,
+        state: &mut KernelState,
+        tile: Option<(usize, usize)>,
+        threads: usize,
+    ) {
+        let t = tile.map(|(ti, tj)| TileDims::new(ti, tj));
+        match (self, state) {
+            (Kernel::Jacobi, KernelState::Jacobi { a, b }) => {
+                parallel::jacobi3d_sweep(a, b, 1.0 / 6.0, t, threads);
+            }
+            (Kernel::RedBlack, KernelState::RedBlack { a }) => {
+                parallel::redblack_sweep(a, 0.4, 0.1, t, threads);
+            }
+            (Kernel::Resid, KernelState::Resid { r, u, v }) => {
+                parallel::resid_sweep(r, u, v, &resid::Coeffs::MGRID_A, t, threads);
             }
             _ => panic!("kernel/state mismatch"),
         }

@@ -25,6 +25,14 @@
 //! K-slab parallel sweeps showing that the paper's intra-nest tiling
 //! composes with thread parallelism.
 //!
+//! Every production sweep runs on the **row-segment engine**
+//! ([`rowexec`]): the loop nest is decomposed into contiguous unit-stride
+//! (or stride-2, for red-black colours) row segments, each executed over
+//! pre-sliced operand rows so the compiler can eliminate bounds checks and
+//! autovectorize the `I` loop. The original per-point formulations survive
+//! in [`mod@reference`] as the executable specification the engine is held
+//! bitwise-equal to.
+//!
 //! Schedule legality is enforced in two layers: statically, each kernel's
 //! transforms are planned through `tiling3d_core::plan_certified` and run
 //! via [`kernels::Kernel::run_certified`], which only accepts a
@@ -42,6 +50,8 @@ pub mod kernels;
 pub mod parallel;
 pub mod redblack;
 pub mod redblack2d;
+pub mod reference;
 pub mod resid;
+pub mod rowexec;
 pub mod timeskew;
 pub mod timestep;

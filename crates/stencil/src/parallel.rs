@@ -8,21 +8,42 @@
 //! is race-free by construction (Rust's borrow checker enforces it via
 //! `split_at_mut`-style slab slices).
 //!
-//! Each thread runs the *tiled* schedule inside its slab, so per-thread
-//! cache behaviour matches the sequential analysis — tiling and
+//! Red-black SOR updates in place, so it additionally needs the two-phase
+//! **colour barrier**: all red points (globally) before any black point.
+//! Within one colour pass every read is either an opposite-colour
+//! neighbour (untouched during the pass) or the point's own pre-write
+//! centre value, so the K-slab split stays race-free once each slab gets a
+//! pre-pass snapshot of its two boundary planes (see [`redblack_sweep`]
+//! and DESIGN.md §12 for the full argument).
+//!
+//! Each thread runs the *tiled* schedule inside its slab on the row-segment
+//! engine ([`crate::rowexec`]), so per-thread cache behaviour and inner-loop
+//! code match the sequential analysis — tiling, vectorization and
 //! parallelism compose rather than compete. Results are bitwise identical
-//! to the sequential sweeps (verified by tests): each output element is
-//! computed by exactly one thread from read-only inputs.
+//! to the sequential sweeps for every thread count (verified by tests).
 
 use std::thread;
 
 use tiling3d_grid::Array3;
-use tiling3d_loopnest::{for_each_tiled, IterSpace, TileDims};
+use tiling3d_loopnest::{
+    for_each_rows, for_each_tiled_rows, stride2_clip, stride2_last, IterSpace, TileDims,
+};
+
+use crate::{jacobi3d, redblack, resid, rowexec};
 
 /// Partitions the interior `K` range `1..=nk-2` into at most `threads`
 /// contiguous chunks of near-equal size.
+///
+/// Degenerate grids (`nk < 3`) have no interior planes and yield an empty
+/// partition; callers treat that as a no-op sweep.
+///
+/// # Panics
+/// Panics if `threads == 0`.
 fn k_chunks(nk: usize, threads: usize) -> Vec<(usize, usize)> {
     assert!(threads > 0, "need at least one thread");
+    if nk < 3 {
+        return Vec::new();
+    }
     let lo = 1usize;
     let hi = nk - 2;
     let total = hi - lo + 1;
@@ -39,9 +60,31 @@ fn k_chunks(nk: usize, threads: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Splits `rest` (a whole array slice) into one mutable slab per chunk,
+/// each covering planes `k0..=k1` (plane stride `ps`).
+fn split_slabs<'a>(
+    mut rest: &'a mut [f64],
+    chunks: &[(usize, usize)],
+    ps: usize,
+) -> Vec<(usize, usize, &'a mut [f64])> {
+    let mut consumed = 0usize;
+    let mut slabs = Vec::with_capacity(chunks.len());
+    for &(k0, k1) in chunks {
+        let begin = k0 * ps;
+        let end = (k1 + 1) * ps;
+        let (_, tail) = rest.split_at_mut(begin - consumed);
+        let (slab, tail) = tail.split_at_mut(end - begin);
+        rest = tail;
+        consumed = end;
+        slabs.push((k0, k1, slab));
+    }
+    slabs
+}
+
 /// Parallel (optionally tiled) 3D Jacobi sweep across `threads` K-slabs.
 ///
-/// Bitwise identical to `jacobi3d::sweep` / `jacobi3d::sweep_tiled`.
+/// Bitwise identical to `jacobi3d::sweep` / `jacobi3d::sweep_tiled` for
+/// every thread count. Degenerate grids (any extent `< 3`) are a no-op.
 ///
 /// # Panics
 /// Panics if extents mismatch or `threads == 0`.
@@ -59,22 +102,11 @@ pub fn jacobi3d_sweep(
     let (ni, nj, nk) = (a.ni(), a.nj(), a.nk());
     let (di, ps) = (a.di(), a.plane_stride());
     let chunks = k_chunks(nk, threads);
-    let bv = b.as_slice();
-
-    // Slice the output into per-chunk mutable slabs covering whole planes.
-    let mut rest = a.as_mut_slice();
-    let mut consumed = 0usize;
-    let mut slabs = Vec::with_capacity(chunks.len());
-    for &(k0, k1) in &chunks {
-        // Slab spans plane k0 .. k1 inclusive.
-        let begin = k0 * ps;
-        let end = (k1 + 1) * ps;
-        let (_, tail) = rest.split_at_mut(begin - consumed);
-        let (slab, tail) = tail.split_at_mut(end - begin);
-        rest = tail;
-        consumed = end;
-        slabs.push((k0, k1, slab));
+    if chunks.is_empty() || ni < 3 || nj < 3 {
+        return;
     }
+    let bv = b.as_slice();
+    let slabs = split_slabs(a.as_mut_slice(), &chunks, ps);
 
     thread::scope(|scope| {
         for (k0, k1, slab) in slabs {
@@ -84,28 +116,37 @@ pub fn jacobi3d_sweep(
                     hi: (ni - 2, nj - 2, k1),
                 };
                 let base = k0 * ps; // slab-local offset correction
-                let body = |i: usize, j: usize, k: usize| {
-                    let idx = i + j * di + k * ps;
-                    slab[idx - base] = c
-                        * (bv[idx - 1]
-                            + bv[idx + 1]
-                            + bv[idx - di]
-                            + bv[idx + di]
-                            + bv[idx - ps]
-                            + bv[idx + ps]);
+                let row = |i0: usize, i1: usize, j: usize, k: usize| {
+                    let lo = j * di + k * ps + i0;
+                    let len = i1 - i0 + 1;
+                    rowexec::jacobi3d_row(
+                        &mut slab[lo - base..lo - base + len],
+                        &bv[lo - 1..],
+                        &bv[lo + 1..],
+                        &bv[lo - di..],
+                        &bv[lo + di..],
+                        &bv[lo - ps..],
+                        &bv[lo + ps..],
+                        c,
+                    );
                 };
                 match tile {
-                    None => tiling3d_loopnest::for_each(space, body),
-                    Some(t) => for_each_tiled(space, t, body),
+                    None => for_each_rows(space, row),
+                    Some(t) => for_each_tiled_rows(space, t, row),
                 }
             });
         }
     });
+    rowexec::note_sweep(
+        IterSpace::interior(ni, nj, nk).points(),
+        jacobi3d::FLOPS_PER_POINT,
+    );
 }
 
 /// Parallel (optionally tiled) RESID sweep across `threads` K-slabs.
 ///
-/// Bitwise identical to `resid::sweep` with the same tile.
+/// Bitwise identical to `resid::sweep` with the same tile, for every
+/// thread count. Degenerate grids are a no-op.
 ///
 /// # Panics
 /// Panics if extents mismatch or `threads == 0`.
@@ -113,7 +154,7 @@ pub fn resid_sweep(
     r: &mut Array3<f64>,
     u: &Array3<f64>,
     v: &Array3<f64>,
-    coeffs: &crate::resid::Coeffs,
+    coeffs: &resid::Coeffs,
     tile: Option<TileDims>,
     threads: usize,
 ) {
@@ -122,21 +163,12 @@ pub fn resid_sweep(
     let (ni, nj, nk) = (r.ni(), r.nj(), r.nk());
     let (di, ps) = (r.di(), r.plane_stride());
     let chunks = k_chunks(nk, threads);
+    if chunks.is_empty() || ni < 3 || nj < 3 {
+        return;
+    }
     let (uv, vv) = (u.as_slice(), v.as_slice());
     let coeffs = *coeffs;
-
-    let mut rest = r.as_mut_slice();
-    let mut consumed = 0usize;
-    let mut slabs = Vec::with_capacity(chunks.len());
-    for &(k0, k1) in &chunks {
-        let begin = k0 * ps;
-        let end = (k1 + 1) * ps;
-        let (_, tail) = rest.split_at_mut(begin - consumed);
-        let (slab, tail) = tail.split_at_mut(end - begin);
-        rest = tail;
-        consumed = end;
-        slabs.push((k0, k1, slab));
-    }
+    let slabs = split_slabs(r.as_mut_slice(), &chunks, ps);
 
     thread::scope(|scope| {
         for (k0, k1, slab) in slabs {
@@ -146,62 +178,202 @@ pub fn resid_sweep(
                     hi: (ni - 2, nj - 2, k1),
                 };
                 let base = k0 * ps;
-                let (dii, psi) = (di as i64, ps as i64);
-                let body = |i: usize, j: usize, k: usize| {
-                    let idx = i + j * di + k * ps;
-                    let at = |off: i64| uv[(idx as i64 + off) as usize];
-                    let mut s1 = 0.0;
-                    for o in [-1i64, 1, -dii, dii, -psi, psi] {
-                        s1 += at(o);
-                    }
-                    let mut s2 = 0.0;
-                    for o in [
-                        -1 - dii,
-                        1 - dii,
-                        -1 + dii,
-                        1 + dii,
-                        -dii - psi,
-                        dii - psi,
-                        -dii + psi,
-                        dii + psi,
-                        -1 - psi,
-                        -1 + psi,
-                        1 - psi,
-                        1 + psi,
-                    ] {
-                        s2 += at(o);
-                    }
-                    let mut s3 = 0.0;
-                    for o in [
-                        -1 - dii - psi,
-                        1 - dii - psi,
-                        -1 + dii - psi,
-                        1 + dii - psi,
-                        -1 - dii + psi,
-                        1 - dii + psi,
-                        -1 + dii + psi,
-                        1 + dii + psi,
-                    ] {
-                        s3 += at(o);
-                    }
-                    slab[idx - base] = vv[idx]
-                        - coeffs.a0 * uv[idx]
-                        - coeffs.a1 * s1
-                        - coeffs.a2 * s2
-                        - coeffs.a3 * s3;
+                let row = |i0: usize, i1: usize, j: usize, k: usize| {
+                    let lo = j * di + k * ps + i0;
+                    let len = i1 - i0 + 1;
+                    let h = lo - 1;
+                    let rows: rowexec::Rows9 = [
+                        &uv[h - di - ps..],
+                        &uv[h - ps..],
+                        &uv[h + di - ps..],
+                        &uv[h - di..],
+                        &uv[h..],
+                        &uv[h + di..],
+                        &uv[h - di + ps..],
+                        &uv[h + ps..],
+                        &uv[h + di + ps..],
+                    ];
+                    rowexec::resid_row(
+                        &mut slab[lo - base..lo - base + len],
+                        &vv[lo..],
+                        rows,
+                        &coeffs,
+                    );
                 };
                 match tile {
-                    None => tiling3d_loopnest::for_each(space, body),
-                    Some(t) => for_each_tiled(space, t, body),
+                    None => for_each_rows(space, row),
+                    Some(t) => for_each_tiled_rows(space, t, row),
                 }
             });
         }
     });
+    rowexec::note_sweep(
+        IterSpace::interior(ni, nj, nk).points(),
+        resid::FLOPS_PER_POINT,
+    );
+}
+
+/// Parallel (optionally tiled) in-place red-black sweep across `threads`
+/// K-slabs, with a global colour barrier between the red and black phases.
+///
+/// Race-freedom and bitwise determinism: within one colour pass every
+/// stencil read is an opposite-colour point (no same-colour point is a
+/// neighbour of another — all six neighbours flip parity) except the
+/// centre, which the row engine reads into scratch before scattering. The
+/// only cross-slab reads are the `K±1` planes at slab boundaries; those
+/// positions are opposite-colour, so a pre-pass snapshot of the two
+/// boundary planes equals their live value for the whole pass. Hence the
+/// result is bitwise identical to `redblack::sweep` with
+/// `Schedule::Naive` (= every sequential schedule) for every thread count.
+///
+/// When observability collection is on, the two phases run under fixed
+/// `redblack:red` / `redblack:black` spans opened on the coordinating
+/// thread. Degenerate grids are a no-op.
+///
+/// # Panics
+/// Panics unless the `I`/`J` logical extents are equal, or if
+/// `threads == 0`.
+pub fn redblack_sweep(
+    a: &mut Array3<f64>,
+    c1: f64,
+    c2: f64,
+    tile: Option<TileDims>,
+    threads: usize,
+) {
+    let n = a.ni();
+    let nk = a.nk();
+    assert!(a.nj() == n, "red-black kernel expects square I/J extents");
+    let (di, ps) = (a.di(), a.plane_stride());
+    let chunks = k_chunks(nk, threads);
+    if chunks.is_empty() || n < 3 {
+        return;
+    }
+    let av = a.as_mut_slice();
+
+    for parity in 0..2usize {
+        let _pass = tiling3d_obs::span(if parity == 0 {
+            "redblack:red"
+        } else {
+            "redblack:black"
+        });
+        // Pre-pass snapshots of each slab's two boundary planes. Every
+        // position read from them is opposite-colour, so the snapshot
+        // equals the live value throughout this pass.
+        let halos: Vec<(Vec<f64>, Vec<f64>)> = chunks
+            .iter()
+            .map(|&(k0, k1)| {
+                (
+                    av[(k0 - 1) * ps..k0 * ps].to_vec(),
+                    av[(k1 + 1) * ps..(k1 + 2) * ps].to_vec(),
+                )
+            })
+            .collect();
+        let slabs = split_slabs(&mut av[..], &chunks, ps);
+        thread::scope(|scope| {
+            for ((k0, k1, slab), (lo_halo, hi_halo)) in slabs.into_iter().zip(halos) {
+                scope.spawn(move || {
+                    color_pass(
+                        slab, &lo_halo, &hi_halo, k0, k1, n, di, ps, c1, c2, parity, tile,
+                    );
+                });
+            }
+        });
+    }
+    rowexec::note_sweep(
+        ((n - 2) * (n - 2) * (nk - 2)) as u64,
+        redblack::FLOPS_PER_POINT,
+    );
+}
+
+/// One colour pass over one K-slab (planes `k0..=k1`, slab-local storage).
+#[allow(clippy::too_many_arguments)]
+fn color_pass(
+    slab: &mut [f64],
+    lo_halo: &[f64],
+    hi_halo: &[f64],
+    k0: usize,
+    k1: usize,
+    n: usize,
+    di: usize,
+    ps: usize,
+    c1: f64,
+    c2: f64,
+    parity: usize,
+    tile: Option<TileDims>,
+) {
+    let mut scratch = vec![0.0f64; n / 2 + 1];
+    let mut do_row = |i0: usize, i1: usize, j: usize, k: usize| {
+        let lo = j * di + (k - k0) * ps + i0;
+        let m = (i1 - i0) / 2 + 1;
+        {
+            let src: &[f64] = slab;
+            let down: &[f64] = if k > k0 {
+                &src[lo - ps..]
+            } else {
+                &lo_halo[j * di + i0..]
+            };
+            let up: &[f64] = if k < k1 {
+                &src[lo + ps..]
+            } else {
+                &hi_halo[j * di + i0..]
+            };
+            rowexec::redblack_row(
+                &mut scratch[..m],
+                &src[lo..],
+                &src[lo - 1..],
+                &src[lo - di..],
+                &src[lo + 1..],
+                &src[lo + di..],
+                down,
+                up,
+                c1,
+                c2,
+            );
+        }
+        rowexec::scatter_stride2(&mut slab[lo..], &scratch[..m]);
+    };
+    match tile {
+        None => {
+            for k in k0..=k1 {
+                for j in 1..=n - 2 {
+                    let i0 = 1 + (k + j + parity) % 2;
+                    if i0 <= n - 2 {
+                        do_row(i0, stride2_last(i0, n - 2), j, k);
+                    }
+                }
+            }
+        }
+        Some(t) => {
+            // JJ/II tiles inside the slab; any order within a colour is
+            // bitwise-equivalent (all reads are opposite-colour or
+            // pre-write centre).
+            let hi = n - 2;
+            let mut jj = 1usize;
+            while jj <= hi {
+                let j_hi = (jj + t.tj - 1).min(hi);
+                let mut ii = 1usize;
+                while ii <= hi {
+                    let i_hi = (ii + t.ti - 1).min(hi);
+                    for k in k0..=k1 {
+                        for j in jj..=j_hi {
+                            let i0 = 1 + (k + j + parity) % 2;
+                            if let Some(first) = stride2_clip(i0, ii, i_hi) {
+                                do_row(first, stride2_last(first, i_hi), j, k);
+                            }
+                        }
+                    }
+                    ii += t.ti;
+                }
+                jj += t.tj;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::redblack::Schedule;
     use crate::resid::Coeffs;
     use tiling3d_grid::fill_random;
 
@@ -219,6 +391,25 @@ mod tests {
                 assert_eq!(expect, nk - 1, "nk={nk} t={t}");
                 assert!(chunks.len() <= t);
             }
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_are_a_no_op() {
+        // Regression: nk < 3 used to underflow in k_chunks and panic.
+        for nk in [1usize, 2] {
+            assert!(k_chunks(nk, 4).is_empty());
+            let mut a = Array3::new(5, 5, nk);
+            let mut b = Array3::new(5, 5, nk);
+            fill_random(&mut b, 3);
+            jacobi3d_sweep(&mut a, &b, 0.5, None, 4);
+            assert!(a.logical_eq(&Array3::new(5, 5, nk)), "nk={nk}");
+            let mut rb = b.clone();
+            redblack_sweep(&mut rb, 0.4, 0.1, None, 4);
+            assert!(rb.logical_eq(&b), "nk={nk}");
+            let mut r = Array3::new(5, 5, nk);
+            resid_sweep(&mut r, &b, &b, &Coeffs::MGRID_A, None, 4);
+            assert!(r.logical_eq(&Array3::new(5, 5, nk)), "nk={nk}");
         }
     }
 
@@ -272,6 +463,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_redblack_matches_sequential_bitwise() {
+        for (n, nk, di, dj) in [(16usize, 16usize, 19usize, 17usize), (9, 12, 9, 12)] {
+            let mut init = Array3::with_padding(n, n, nk, di, dj);
+            fill_random(&mut init, 42);
+            let mut seq = init.clone();
+            crate::redblack::sweep(&mut seq, 0.4, 0.1, Schedule::Naive);
+            for threads in [1usize, 2, 3, 7] {
+                let mut par = init.clone();
+                redblack_sweep(&mut par, 0.4, 0.1, None, threads);
+                assert!(seq.logical_eq(&par), "n={n} nk={nk} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tiled_redblack_matches_sequential() {
+        let (n, nk) = (15usize, 11usize);
+        let mut init = Array3::with_padding(n, n, nk, 18, 16);
+        fill_random(&mut init, 12);
+        let mut seq = init.clone();
+        crate::redblack::sweep(&mut seq, 0.4, 0.1, Schedule::Naive);
+        for (ti, tj) in [(4usize, 3usize), (100, 1), (1, 100)] {
+            for threads in [1usize, 2, 5] {
+                let mut par = init.clone();
+                redblack_sweep(&mut par, 0.4, 0.1, Some(TileDims::new(ti, tj)), threads);
+                assert!(seq.logical_eq(&par), "tile=({ti},{tj}) threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn more_threads_than_planes_is_fine() {
         let n = 5;
         let mut b = Array3::new(n, n, n);
@@ -281,5 +503,10 @@ mod tests {
         let mut par = Array3::new(n, n, n);
         jacobi3d_sweep(&mut par, &b, 1.0, None, 64);
         assert!(seq.logical_eq(&par));
+        let mut rb_seq = b.clone();
+        crate::redblack::sweep(&mut rb_seq, 0.3, 0.2, Schedule::Naive);
+        let mut rb_par = b.clone();
+        redblack_sweep(&mut rb_par, 0.3, 0.2, None, 64);
+        assert!(rb_seq.logical_eq(&rb_par));
     }
 }

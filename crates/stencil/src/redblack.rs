@@ -17,7 +17,9 @@
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
-use tiling3d_loopnest::TileDims;
+use tiling3d_loopnest::{stride2_last, TileDims};
+
+use crate::rowexec;
 
 /// FLOPs per updated point (2 multiplies + 6 adds).
 pub const FLOPS_PER_POINT: u64 = 8;
@@ -40,24 +42,23 @@ pub fn sweep_flops(n: usize, nk: usize) -> u64 {
     interior * interior * (nk as u64 - 2) * FLOPS_PER_POINT
 }
 
-/// Walks the update points of the **naive** schedule: pass 0 updates red
-/// points (Fortran-even coordinate sums), pass 1 black.
-fn visit_naive(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize)) {
+/// Walks the **naive** schedule as stride-2 rows: pass 0 yields the red
+/// rows (Fortran-even coordinate sums), pass 1 the black rows.
+fn rows_naive(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize, usize)) {
     for p in 0..2usize {
         for k in 1..=nk - 2 {
             for j in 1..=n - 2 {
-                let mut i = 1 + (k + j + p) % 2;
-                while i <= n - 2 {
-                    f(i, j, k);
-                    i += 2;
+                let i0 = 1 + (k + j + p) % 2;
+                if i0 <= n - 2 {
+                    f(i0, stride2_last(i0, n - 2), j, k);
                 }
             }
         }
     }
 }
 
-/// Walks the update points of the **fused** schedule (middle of Fig 12).
-fn visit_fused(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize)) {
+/// Walks the **fused** schedule (middle of Fig 12) as stride-2 rows.
+fn rows_fused(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize, usize)) {
     for kk in 0..=nk - 2 {
         // Two-trip inner K loop: K = KK+1 (red), then K = KK (black).
         for k in [kk + 1, kk] {
@@ -66,19 +67,18 @@ fn visit_fused(n: usize, nk: usize, mut f: impl FnMut(usize, usize, usize)) {
             }
             let parity = if k == kk + 1 { 0 } else { 1 }; // red : black
             for j in 1..=n - 2 {
-                let mut i = 1 + (k + j + parity) % 2;
-                while i <= n - 2 {
-                    f(i, j, k);
-                    i += 2;
+                let i0 = 1 + (k + j + parity) % 2;
+                if i0 <= n - 2 {
+                    f(i0, stride2_last(i0, n - 2), j, k);
                 }
             }
         }
     }
 }
 
-/// Walks the update points of the **tiled** schedule (bottom of Fig 12),
-/// with tile origins skewed by `K - KK` in both `J` and `I`.
-fn visit_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usize, usize)) {
+/// Walks the **tiled** schedule (bottom of Fig 12) as stride-2 rows, with
+/// tile origins skewed by `K - KK` in both `J` and `I`.
+fn rows_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usize, usize, usize)) {
     let (ti, tj) = (tile.ti, tile.tj);
     let mut jj = 0usize;
     while jj <= n - 2 {
@@ -102,9 +102,8 @@ fn visit_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usi
                             i = 2;
                         }
                         let i_hi = (ii + sh + ti - 1).min(n - 2);
-                        while i <= i_hi {
-                            f(i, j, k);
-                            i += 2;
+                        if i <= i_hi {
+                            f(i, stride2_last(i, i_hi), j, k);
                         }
                     }
                 }
@@ -115,6 +114,23 @@ fn visit_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usi
     }
 }
 
+/// Walks the update points of `schedule` as stride-2 row segments in
+/// **execution order**: `f(i_first, i_last, j, k)` with
+/// `i_first..=i_last step 2` all one color. This is the iteration layer
+/// of the red-black row engine; [`visit`] is its per-point expansion.
+pub fn visit_rows(
+    n: usize,
+    nk: usize,
+    schedule: Schedule,
+    f: impl FnMut(usize, usize, usize, usize),
+) {
+    match schedule {
+        Schedule::Naive => rows_naive(n, nk, f),
+        Schedule::Fused => rows_fused(n, nk, f),
+        Schedule::Tiled(t) => rows_tiled(n, nk, t, f),
+    }
+}
+
 /// Walks the update points of `schedule` in **execution order**, calling
 /// `f(i, j, k)` once per interior point.
 ///
@@ -122,27 +138,24 @@ fn visit_tiled(n: usize, nk: usize, tile: TileDims, mut f: impl FnMut(usize, usi
 /// `crate::crosscheck`): red points must be visited before every adjacent
 /// black point for the in-place update to be correct, which is exactly the
 /// lexicographic-positivity condition the static certificate proves.
-pub fn visit(n: usize, nk: usize, schedule: Schedule, f: impl FnMut(usize, usize, usize)) {
-    match schedule {
-        Schedule::Naive => visit_naive(n, nk, f),
-        Schedule::Fused => visit_fused(n, nk, f),
-        Schedule::Tiled(t) => visit_tiled(n, nk, t, f),
-    }
-}
-
-#[inline(always)]
-fn update(av: &mut [f64], idx: usize, di: usize, ps: usize, c1: f64, c2: f64) {
-    av[idx] = c1 * av[idx]
-        + c2 * (av[idx - 1]
-            + av[idx - di]
-            + av[idx + 1]
-            + av[idx + di]
-            + av[idx - ps]
-            + av[idx + ps]);
+pub fn visit(n: usize, nk: usize, schedule: Schedule, mut f: impl FnMut(usize, usize, usize)) {
+    visit_rows(n, nk, schedule, |i0, i1, j, k| {
+        let mut i = i0;
+        while i <= i1 {
+            f(i, j, k);
+            i += 2;
+        }
+    });
 }
 
 /// One full red-black iteration in the chosen schedule, updating `a` in
 /// place: `A = C1*A + C2*(sum of 6 face neighbours)`.
+///
+/// Runs on the row engine: each stride-2 row segment is computed into a
+/// scratch buffer from an immutable view of the array, then scattered
+/// back. Within one segment every read lands on the opposite color (or on
+/// the not-yet-written center), so the split is bitwise identical to the
+/// per-point in-place update in [`crate::reference::redblack`].
 ///
 /// # Panics
 /// Panics unless the `I`/`J` logical extents are equal (the `K` extent may
@@ -153,9 +166,33 @@ pub fn sweep(a: &mut Array3<f64>, c1: f64, c2: f64, schedule: Schedule) {
     assert!(a.nj() == n, "red-black kernel expects square I/J extents");
     let (di, ps) = (a.di(), a.plane_stride());
     let av = a.as_mut_slice();
-    visit(n, nk, schedule, |i, j, k| {
-        update(av, i + j * di + k * ps, di, ps, c1, c2);
+    let mut scratch = vec![0.0f64; n / 2 + 1];
+    visit_rows(n, nk, schedule, |i0, i1, j, k| {
+        let lo = j * di + k * ps + i0;
+        let m = (i1 - i0) / 2 + 1;
+        {
+            let src: &[f64] = av;
+            rowexec::redblack_row(
+                &mut scratch[..m],
+                &src[lo..],
+                &src[lo - 1..],
+                &src[lo - di..],
+                &src[lo + 1..],
+                &src[lo + di..],
+                &src[lo - ps..],
+                &src[lo + ps..],
+                c1,
+                c2,
+            );
+        }
+        rowexec::scatter_stride2(&mut av[lo..], &scratch[..m]);
     });
+    if nk >= 2 && n >= 2 {
+        rowexec::note_sweep(
+            (n as u64 - 2) * (n as u64 - 2) * (nk as u64 - 2),
+            FLOPS_PER_POINT,
+        );
+    }
 }
 
 /// Replays the exact address trace of one iteration (array `A` at byte 0,
@@ -207,12 +244,7 @@ mod tests {
             Schedule::Tiled(TileDims::new(4, 3)),
         ] {
             let mut seen = HashSet::new();
-            let visit = |f: &mut dyn FnMut(usize, usize, usize)| match sched {
-                Schedule::Naive => visit_naive(n, n, f),
-                Schedule::Fused => visit_fused(n, n, f),
-                Schedule::Tiled(t) => visit_tiled(n, n, t, f),
-            };
-            visit(&mut |i, j, k| {
+            visit(n, n, sched, |i, j, k| {
                 assert!(seen.insert((i, j, k)), "{sched:?}: duplicate ({i},{j},{k})");
             });
             assert_eq!(seen.len(), (n - 2).pow(3), "{sched:?}: coverage");
@@ -227,7 +259,7 @@ mod tests {
         let n = 9;
         let mut phase_one_parity = None;
         let mut count = 0usize;
-        visit_naive(n, n, |i, j, k| {
+        visit(n, n, Schedule::Naive, |i, j, k| {
             count += 1;
             let par = (i + j + k) % 2;
             if count == 1 {
@@ -292,7 +324,15 @@ mod tests {
                 for j in 1..=n - 2 {
                     let mut i = 1 + (k + j) % 2;
                     while i <= n - 2 {
-                        update(av, i + j * di + k * ps, di, ps, 0.4, 0.1);
+                        let idx = i + j * di + k * ps;
+                        av[idx] = 0.4 * av[idx]
+                            + 0.1
+                                * (av[idx - 1]
+                                    + av[idx - di]
+                                    + av[idx + 1]
+                                    + av[idx + di]
+                                    + av[idx - ps]
+                                    + av[idx + ps]);
                         i += 2;
                     }
                 }

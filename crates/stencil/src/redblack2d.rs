@@ -13,6 +13,9 @@
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array2;
+use tiling3d_loopnest::stride2_last;
+
+use crate::rowexec;
 
 /// FLOPs per updated point (2 multiplies + 4 adds).
 pub const FLOPS_PER_POINT: u64 = 6;
@@ -27,41 +30,57 @@ pub enum Schedule2D {
     Fused,
 }
 
-fn visit_naive(n: usize, mut f: impl FnMut(usize, usize)) {
+fn rows_naive(n: usize, mut f: impl FnMut(usize, usize, usize)) {
     for p in 0..2usize {
         for j in 1..=n - 2 {
-            let mut i = 1 + (j + p) % 2;
-            while i <= n - 2 {
-                f(i, j);
-                i += 2;
+            let i0 = 1 + (j + p) % 2;
+            if i0 <= n - 2 {
+                f(i0, stride2_last(i0, n - 2), j);
             }
         }
     }
 }
 
-fn visit_fused(n: usize, mut f: impl FnMut(usize, usize)) {
+fn rows_fused(n: usize, mut f: impl FnMut(usize, usize, usize)) {
     for jj in 0..=n - 2 {
         for j in [jj + 1, jj] {
             if !(1..=n - 2).contains(&j) {
                 continue;
             }
             let parity = if j == jj + 1 { 0 } else { 1 };
-            let mut i = 1 + (j + parity) % 2;
-            while i <= n - 2 {
-                f(i, j);
-                i += 2;
+            let i0 = 1 + (j + parity) % 2;
+            if i0 <= n - 2 {
+                f(i0, stride2_last(i0, n - 2), j);
             }
         }
     }
 }
 
-#[inline(always)]
-fn update(av: &mut [f64], idx: usize, di: usize, c1: f64, c2: f64) {
-    av[idx] = c1 * av[idx] + c2 * (av[idx - 1] + av[idx - di] + av[idx + 1] + av[idx + di]);
+/// Walks `schedule`'s update points as stride-2 row segments in execution
+/// order: `f(i_first, i_last, j)`.
+pub fn visit_rows(n: usize, schedule: Schedule2D, f: impl FnMut(usize, usize, usize)) {
+    match schedule {
+        Schedule2D::Naive => rows_naive(n, f),
+        Schedule2D::Fused => rows_fused(n, f),
+    }
+}
+
+/// Per-point expansion of [`visit_rows`], in execution order.
+pub fn visit(n: usize, schedule: Schedule2D, mut f: impl FnMut(usize, usize)) {
+    visit_rows(n, schedule, |i0, i1, j| {
+        let mut i = i0;
+        while i <= i1 {
+            f(i, j);
+            i += 2;
+        }
+    });
 }
 
 /// One full 2D red-black iteration in place:
 /// `A = C1*A + C2*(4-point neighbour sum)`.
+///
+/// Runs on the row engine (scratch-compute then stride-2 scatter);
+/// bitwise identical to [`crate::reference::redblack2d`].
 ///
 /// # Panics
 /// Panics unless the logical extents are square.
@@ -70,17 +89,34 @@ pub fn sweep(a: &mut Array2<f64>, c1: f64, c2: f64, schedule: Schedule2D) {
     assert_eq!(a.nj(), n, "2D red-black expects a square grid");
     let di = a.di();
     let av = a.as_mut_slice();
-    let body = |i: usize, j: usize| update(av, i + j * di, di, c1, c2);
-    match schedule {
-        Schedule2D::Naive => visit_naive(n, body),
-        Schedule2D::Fused => visit_fused(n, body),
+    let mut scratch = vec![0.0f64; n / 2 + 1];
+    visit_rows(n, schedule, |i0, i1, j| {
+        let lo = j * di + i0;
+        let m = (i1 - i0) / 2 + 1;
+        {
+            let src: &[f64] = av;
+            rowexec::redblack2d_row(
+                &mut scratch[..m],
+                &src[lo..],
+                &src[lo - 1..],
+                &src[lo - di..],
+                &src[lo + 1..],
+                &src[lo + di..],
+                c1,
+                c2,
+            );
+        }
+        rowexec::scatter_stride2(&mut av[lo..], &scratch[..m]);
+    });
+    if n >= 2 {
+        rowexec::note_sweep(((n - 2) * (n - 2)) as u64, FLOPS_PER_POINT);
     }
 }
 
 /// Trace of one iteration (array at byte 0, allocated column length `di`).
 pub fn trace<S: AccessSink>(n: usize, di: usize, schedule: Schedule2D, sink: &mut S) {
     assert!(di >= n);
-    let mut body = |i: usize, j: usize| {
+    visit(n, schedule, |i, j| {
         let idx = (i + j * di) as i64;
         let at = |off: i64| ((idx + off) * 8) as u64;
         sink.read(at(0));
@@ -89,11 +125,7 @@ pub fn trace<S: AccessSink>(n: usize, di: usize, schedule: Schedule2D, sink: &mu
         sink.read(at(1));
         sink.read(at(di as i64));
         sink.write(at(0));
-    };
-    match schedule {
-        Schedule2D::Naive => visit_naive(n, &mut body),
-        Schedule2D::Fused => visit_fused(n, &mut body),
-    }
+    });
 }
 
 #[cfg(test)]
@@ -108,11 +140,9 @@ mod tests {
         let n = 13;
         for sched in [Schedule2D::Naive, Schedule2D::Fused] {
             let mut seen = HashSet::new();
-            let visit = |f: &mut dyn FnMut(usize, usize)| match sched {
-                Schedule2D::Naive => visit_naive(n, f),
-                Schedule2D::Fused => visit_fused(n, f),
-            };
-            visit(&mut |i, j| assert!(seen.insert((i, j)), "{sched:?} dup ({i},{j})"));
+            visit(n, sched, |i, j| {
+                assert!(seen.insert((i, j)), "{sched:?} dup ({i},{j})");
+            });
             assert_eq!(seen.len(), (n - 2) * (n - 2));
         }
     }

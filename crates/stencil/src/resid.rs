@@ -15,7 +15,11 @@
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
-use tiling3d_loopnest::{for_each, for_each_tiled, IterSpace, TileDims};
+use tiling3d_loopnest::{
+    for_each, for_each_rows, for_each_tiled, for_each_tiled_rows, IterSpace, TileDims,
+};
+
+use crate::rowexec;
 
 /// FLOPs per interior point: 26 adds within/between neighbour groups plus
 /// the `V` subtraction and 4 coefficient multiplies — 31 total. (A1 is kept
@@ -55,13 +59,13 @@ pub fn sweep_flops(ni: usize, nj: usize, nk: usize) -> u64 {
 
 /// The 6 face offsets in Fig 13's source order, as linear-index deltas.
 #[inline(always)]
-fn faces(di: i64, ps: i64) -> [i64; 6] {
+pub(crate) fn faces(di: i64, ps: i64) -> [i64; 6] {
     [-1, 1, -di, di, -ps, ps]
 }
 
 /// The 12 edge offsets (|d1|+|d2|+|d3| = 2) in Fig 13's source order.
 #[inline(always)]
-fn edges(di: i64, ps: i64) -> [i64; 12] {
+pub(crate) fn edges(di: i64, ps: i64) -> [i64; 12] {
     [
         -1 - di,
         1 - di,
@@ -80,7 +84,7 @@ fn edges(di: i64, ps: i64) -> [i64; 12] {
 
 /// The 8 corner offsets (|d1|+|d2|+|d3| = 3) in Fig 13's source order.
 #[inline(always)]
-fn corners(di: i64, ps: i64) -> [i64; 8] {
+pub(crate) fn corners(di: i64, ps: i64) -> [i64; 8] {
     [
         -1 - di - ps,
         1 - di - ps,
@@ -93,27 +97,13 @@ fn corners(di: i64, ps: i64) -> [i64; 8] {
     ]
 }
 
-#[inline(always)]
-fn update(r: &mut [f64], u: &[f64], v: &[f64], idx: usize, di: usize, ps: usize, c: &Coeffs) {
-    let (dii, psi) = (di as i64, ps as i64);
-    let at = |off: i64| u[(idx as i64 + off) as usize];
-    let mut s1 = 0.0;
-    for o in faces(dii, psi) {
-        s1 += at(o);
-    }
-    let mut s2 = 0.0;
-    for o in edges(dii, psi) {
-        s2 += at(o);
-    }
-    let mut s3 = 0.0;
-    for o in corners(dii, psi) {
-        s3 += at(o);
-    }
-    r[idx] = v[idx] - c.a0 * u[idx] - c.a1 * s1 - c.a2 * s2 - c.a3 * s3;
-}
-
 /// One RESID sweep, optionally tiled (`Some(tile)` = the Fig 13 right-hand
 /// schedule, tiling `I2`/`I1` and leaving `I3` untouched).
+///
+/// Runs on the row engine: the 27-point box becomes nine overlapping
+/// unit-stride `U` rows per output row (see [`rowexec::resid_row`]), with
+/// accumulation order identical to [`crate::reference::resid`] — results
+/// are bitwise identical.
 ///
 /// # Panics
 /// Panics if the three arrays differ in logical or allocated extents.
@@ -134,13 +124,28 @@ pub fn sweep(
     let space = IterSpace::interior(u.ni(), u.nj(), u.nk());
     let rv = r.as_mut_slice();
     let (uv, vv) = (u.as_slice(), v.as_slice());
-    let body = |i: usize, j: usize, k: usize| {
-        update(rv, uv, vv, i + j * di + k * ps, di, ps, coeffs);
+    let row = |i0: usize, i1: usize, j: usize, k: usize| {
+        let lo = j * di + k * ps + i0;
+        let len = i1 - i0 + 1;
+        let h = lo - 1; // halo start: one element left of the row
+        let rows: rowexec::Rows9 = [
+            &uv[h - di - ps..],
+            &uv[h - ps..],
+            &uv[h + di - ps..],
+            &uv[h - di..],
+            &uv[h..],
+            &uv[h + di..],
+            &uv[h - di + ps..],
+            &uv[h + ps..],
+            &uv[h + di + ps..],
+        ];
+        rowexec::resid_row(&mut rv[lo..lo + len], &vv[lo..], rows, coeffs);
     };
     match tile {
-        None => for_each(space, body),
-        Some(t) => for_each_tiled(space, t, body),
+        None => for_each_rows(space, row),
+        Some(t) => for_each_tiled_rows(space, t, row),
     }
+    rowexec::note_sweep(space.points(), FLOPS_PER_POINT);
 }
 
 /// Replays the exact address trace of one sweep. Layout: `R` at byte 0,

@@ -16,7 +16,7 @@
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
-use tiling3d_loopnest::{for_each, IterSpace, TileDims};
+use tiling3d_loopnest::{for_each, for_each_rows, IterSpace, TileDims};
 
 use crate::jacobi3d;
 
@@ -43,15 +43,18 @@ pub fn run(a: &mut Array3<f64>, b: &mut Array3<f64>, c: f64, tile: Option<TileDi
 }
 
 /// The second nest of Fig 5: `B(I,J,K) = A(I,J,K)` over the interior.
+///
+/// Row-segment form: each interior row is one contiguous `copy_from_slice`.
 pub fn copy_back(b: &mut Array3<f64>, a: &Array3<f64>) {
     assert_eq!((a.di(), a.dj(), a.nk()), (b.di(), b.dj(), b.nk()));
     let (di, ps) = (a.di(), a.plane_stride());
     let space = IterSpace::interior(a.ni(), a.nj(), a.nk());
     let av = a.as_slice();
     let bv = b.as_mut_slice();
-    for_each(space, |i, j, k| {
-        let idx = i + j * di + k * ps;
-        bv[idx] = av[idx];
+    for_each_rows(space, |i0, i1, j, k| {
+        let lo = j * di + k * ps + i0;
+        let len = i1 - i0 + 1;
+        bv[lo..lo + len].copy_from_slice(&av[lo..lo + len]);
     });
 }
 
