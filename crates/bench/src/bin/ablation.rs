@@ -264,7 +264,10 @@ fn copyopt_sweep(n: usize, nk: usize, pool: &SimPool) {
         n,
         &Kernel::Jacobi.shape(),
     );
-    let (ti, tj) = p.tile.unwrap();
+    let Some((ti, tj)) = p.tile else {
+        eprintln!("ablation: GcdPad produced no tile at N={n}; cannot run the copy ablation");
+        std::process::exit(1);
+    };
     let hs = pool.map(&[false, true], |&with_copy| {
         let mut h = Hierarchy::ultrasparc2();
         if with_copy {
@@ -308,7 +311,10 @@ fn effcache_sweep(n: usize, nk: usize, pool: &SimPool) {
     println!("targets ~10% of the cache; compare its miss rate against GcdPad's.");
     println!("{:>12}{:>12}{:>12}", "method", "tile", "L1 miss %");
     let shape = Kernel::Jacobi.shape();
-    let eff = effective_cache_tile(CacheSpec::ELEMENTS_16K_DOUBLES, &shape, 0.10).unwrap();
+    let Some(eff) = effective_cache_tile(CacheSpec::ELEMENTS_16K_DOUBLES, &shape, 0.10) else {
+        eprintln!("ablation: no tile fits 10% of the cache for this stencil shape");
+        std::process::exit(1);
+    };
     let methods = [None, Some(Transform::GcdPad), Some(Transform::Orig)];
     let rows = pool.map(&methods, |&m| {
         let mut h = Hierarchy::ultrasparc2();

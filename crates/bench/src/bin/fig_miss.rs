@@ -10,13 +10,14 @@
 //! cargo run --release -p tiling3d-bench --bin fig_miss -- jacobi [--min 200 --max 400 --step 8 --l2 --csv]
 //! ```
 
-use tiling3d_bench::{driver, run_miss_sweeps, SweepConfig};
+use tiling3d_bench::{driver, run_miss_sweeps_supervised, SweepConfig, SweepOptions};
 use tiling3d_core::Transform;
 use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
 fn flag_set() -> FlagSet {
     let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.extend_from_slice(SweepOptions::FLAGS);
     flags.push(FlagSpec::switch("--csv", "emit CSV instead of a table"));
     flags.push(FlagSpec::switch(
         "--l2",
@@ -41,6 +42,10 @@ fn main() {
         }),
     };
     let cfg = SweepConfig::from_flags(&flags);
+    let opts = SweepOptions::from_flags(&flags).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let csv = flags.switch("--csv");
     let transforms = Transform::ALL;
 
@@ -58,7 +63,11 @@ fn main() {
         cfg.step,
         cfg.nk
     );
-    let (l1, l2, _) = run_miss_sweeps(&cfg, kernel, &transforms);
+    let (l1, l2, _, report) = run_miss_sweeps_supervised(&cfg, kernel, &transforms, &opts)
+        .unwrap_or_else(|e| {
+            eprintln!("fig_miss: {e}");
+            std::process::exit(2);
+        });
     l1.print(csv);
     if flags.switch("--plot") {
         println!("\n{}", tiling3d_bench::plot::render(&l1, 6));
@@ -68,5 +77,5 @@ fn main() {
         println!("\n{fig}: {} L2 miss rates (%)", kernel.name());
         l2.print(csv);
     }
-    driver::finish();
+    driver::finish_sweep(&report);
 }

@@ -12,7 +12,8 @@
 //! ```
 
 use tiling3d_bench::{
-    driver, measure_mflops_parallel, run_sweep, Metric, SweepConfig, SweepResult,
+    driver, measure_mflops_parallel, run_sweep_supervised, supervise, Metric, SweepConfig,
+    SweepError, SweepOptions, SweepReport, SweepResult,
 };
 use tiling3d_core::Transform;
 use tiling3d_obs::flags::{FlagSet, FlagSpec};
@@ -20,6 +21,7 @@ use tiling3d_stencil::kernels::Kernel;
 
 fn flag_set() -> FlagSet {
     let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.extend_from_slice(SweepOptions::FLAGS);
     flags.push(FlagSpec::switch("--csv", "emit CSV instead of a table"));
     flags.push(FlagSpec::switch(
         "--modeled",
@@ -48,6 +50,10 @@ fn main() {
         }),
     };
     let cfg = SweepConfig::from_flags(&flags);
+    let opts = SweepOptions::from_flags(&flags).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let csv = flags.switch("--csv");
 
     let fig = match (kernel, cfg.n_max > 450) {
@@ -74,9 +80,12 @@ fn main() {
             "(modeled from simulated misses at UltraSparc2-era penalties; see EXPERIMENTS.md)"
         );
     }
+    let mut report = SweepReport::default();
     let perf = if flags.switch("--parallel") {
         // K-slab parallel wall-clock sweep: bitwise identical results to
-        // the sequential sweep, so the delta is pure thread scaling.
+        // the sequential sweep, so the delta is pure thread scaling. Each
+        // point runs under the supervision policy; a failed point renders
+        // as a gap instead of killing the sweep.
         println!("(K-slab parallel sweeps, --jobs {})", cfg.jobs);
         let rows = cfg
             .sizes()
@@ -84,7 +93,26 @@ fn main() {
             .map(|n| {
                 let vals = Transform::ALL
                     .iter()
-                    .map(|&t| measure_mflops_parallel(&cfg, kernel, t, n, cfg.jobs))
+                    .map(|&t| {
+                        report.total += 1;
+                        supervise::supervise_item(&opts.policy, || {
+                            let v = measure_mflops_parallel(&cfg, kernel, t, n, cfg.jobs);
+                            if v.is_finite() {
+                                Ok(v)
+                            } else {
+                                Err(SweepError::Unhealthy {
+                                    reason: "non-finite MFlops".into(),
+                                })
+                            }
+                        })
+                        .unwrap_or_else(|e| {
+                            report.failures.push((
+                                tiling3d_bench::checkpoint::point_key(kernel, t, n, cfg.nk),
+                                e,
+                            ));
+                            f64::NAN
+                        })
+                    })
                     .collect();
                 (n, vals)
             })
@@ -95,11 +123,17 @@ fn main() {
             rows,
         }
     } else {
-        run_sweep(&cfg, kernel, &Transform::ALL, metric)
+        let (r, rep) = run_sweep_supervised(&cfg, kernel, &Transform::ALL, metric, &opts)
+            .unwrap_or_else(|e| {
+                eprintln!("fig_perf: {e}");
+                std::process::exit(2);
+            });
+        report.merge(&rep);
+        r
     };
     perf.print(csv);
     if flags.switch("--plot") {
         println!("\n{}", tiling3d_bench::plot::render(&perf, 6));
     }
-    driver::finish();
+    driver::finish_sweep(&report);
 }

@@ -14,7 +14,7 @@
 //! The timed V-cycles always run sequentially (they are the measurement);
 //! `--jobs` shards only the closing cache simulations.
 
-use tiling3d_bench::{driver, SimPool};
+use tiling3d_bench::{driver, SimPool, SupervisePolicy};
 use tiling3d_core::{gcd_pad, CacheSpec};
 use tiling3d_loopnest::{StencilShape, TileDims};
 use tiling3d_multigrid::{MgConfig, MgSolver};
@@ -30,6 +30,10 @@ fn flag_set() -> FlagSet {
             FlagSpec::usize("--iters", Some("4"), "timed V-cycles"),
             FlagSpec::switch("--tile-psinv", "also tile PSINV at the finest level"),
             FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
+            FlagSpec::switch(
+                "--health",
+                "run NaN/divergence sentinels after every V-cycle",
+            ),
         ],
     )
 }
@@ -45,6 +49,10 @@ fn run(cfg: MgConfig, iters: usize, label: &str) -> (f64, MgSolver) {
     let t0 = std::time::Instant::now();
     s.solve(iters);
     let dt = t0.elapsed().as_secs_f64();
+    if let Err(e) = s.health() {
+        eprintln!("mgrid: {label} run is numerically unhealthy: {e}");
+        std::process::exit(1);
+    }
     let resid_pct = 100.0 * s.stats.resid_fraction();
     println!(
         "  {label:<22} total {dt:>7.3}s   resid {:>6.3}s ({resid_pct:.0}% of routine time)   psinv {:>6.3}s   rprj3 {:>6.3}s   interp {:>6.3}s",
@@ -61,6 +69,7 @@ fn main() {
     let levels = flags.usize("--levels");
     let iters = flags.usize("--iters");
     let tile_psinv = flags.switch("--tile-psinv");
+    let health = flags.switch("--health");
     let pool = SimPool::new(flags.usize("--jobs"));
 
     let m = 1usize << levels;
@@ -86,7 +95,10 @@ fn main() {
         println!("(also tiling PSINV at the finest level — the paper's suggested extension)");
     }
 
-    let base = MgConfig::mgrid(levels);
+    let base = MgConfig {
+        health,
+        ..MgConfig::mgrid(levels)
+    };
     let (t_orig, mut s_orig) = run(base, iters, "Orig");
     let tile = TileDims::new(g.iter_tile.0, g.iter_tile.1);
     let tiled_cfg = MgConfig {
@@ -122,12 +134,22 @@ fn main() {
     let nk = (m + 2).min(66); // cap trace depth to keep the sim quick
                               // Orig and transformed replays are independent — one pool worker each.
     let variants = [(m + 2, m + 2, None), (g.di_p, g.dj_p, Some(g.iter_tile))];
-    let hs = pool.map(&variants, |&(di, dj, t)| {
+    let hs = pool.try_map(&variants, &SupervisePolicy::default(), |&(di, dj, t)| {
         let mut h = Hierarchy::ultrasparc2();
         Kernel::Resid.trace(m + 2, nk, di, dj, t, &mut h);
-        h
+        Ok(h)
     });
-    let (h_orig, h_tiled) = (&hs[0], &hs[1]);
+    let (h_orig, h_tiled) = match (&hs[0], &hs[1]) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            for r in [a, b] {
+                if let Err(e) = r {
+                    eprintln!("mgrid: closing cache simulation failed: {e}");
+                }
+            }
+            std::process::exit(1);
+        }
+    };
     let cycles =
         |h: &Hierarchy| h.l1_stats().accesses + 10 * h.l1_stats().misses + 60 * h.l2_stats().misses;
     println!(

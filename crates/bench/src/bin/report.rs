@@ -9,7 +9,7 @@
 //! the whole report under a couple of minutes. For full per-figure data
 //! use the dedicated binaries (`table3`, `fig_miss`, ...).
 
-use tiling3d_bench::{driver, run_miss_sweeps, SweepConfig};
+use tiling3d_bench::{driver, run_miss_sweeps_supervised, SweepConfig, SweepOptions, SweepReport};
 use tiling3d_cachesim::ThreeC;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::{euc3d, gcd_pad, memory_overhead_pct, plan, CacheSpec, Transform};
@@ -18,14 +18,16 @@ use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
 fn flag_set() -> FlagSet {
+    let mut flags = vec![
+        FlagSpec::usize("--step", Some("16"), "sweep stride over N = 200..400"),
+        FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
+    ];
+    flags.extend_from_slice(SweepOptions::FLAGS);
     FlagSet::new(
         "report",
         "compact paper-vs-measured summary of every experiment",
         None,
-        &[
-            FlagSpec::usize("--step", Some("16"), "sweep stride over N = 200..400"),
-            FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)"),
-        ],
+        &flags,
     )
 }
 
@@ -88,8 +90,19 @@ fn main() {
         jobs: flags.usize("--jobs"),
         ..Default::default()
     };
+    let opts = SweepOptions::from_flags(&flags).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut verdict = SweepReport::default();
     for kernel in Kernel::ALL {
-        let (l1, _, modeled) = run_miss_sweeps(&cfg, kernel, &Transform::ALL);
+        let (l1, _, modeled, rep) =
+            run_miss_sweeps_supervised(&cfg, kernel, &Transform::ALL, &opts.for_kernel(kernel))
+                .unwrap_or_else(|e| {
+                    eprintln!("report: {e}");
+                    std::process::exit(2);
+                });
+        verdict.merge(&rep);
         let m = l1.means();
         let p = modeled.means();
         let best_padded = m[3].min(m[4]);
@@ -145,5 +158,5 @@ fn main() {
     }
 
     println!("\nsee EXPERIMENTS.md for the full record and the wall-clock discussion.");
-    driver::finish();
+    driver::finish_sweep(&verdict);
 }

@@ -13,13 +13,17 @@
 //! `--jobs $(nproc)` (the default) to shard the simulations across cores.
 //! Miss rates are bit-identical for every `--jobs` value.
 
-use tiling3d_bench::{driver, run_miss_sweeps, run_sweep, Metric, SweepConfig};
+use tiling3d_bench::{
+    driver, run_miss_sweeps_supervised, run_sweep_supervised, Metric, SweepConfig, SweepOptions,
+    SweepReport,
+};
 use tiling3d_core::Transform;
 use tiling3d_obs::flags::{FlagSet, FlagSpec};
 use tiling3d_stencil::kernels::Kernel;
 
 fn flag_set() -> FlagSet {
     let mut flags = SweepConfig::FLAGS.to_vec();
+    flags.extend_from_slice(SweepOptions::FLAGS);
     flags.push(FlagSpec::switch(
         "--no-perf",
         "skip the wall-clock MFlops rows",
@@ -35,6 +39,11 @@ fn flag_set() -> FlagSet {
 fn main() {
     let flags = driver::parse_or_exit(&flag_set());
     let cfg = SweepConfig::from_flags(&flags);
+    let opts = SweepOptions::from_flags(&flags).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut verdict = SweepReport::default();
     let with_perf = !flags.switch("--no-perf");
 
     println!("Table 2 (taxonomy):");
@@ -64,9 +73,21 @@ fn main() {
         "kernel", "metric", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"
     );
     for kernel in Kernel::ALL {
-        let (l1, l2, modeled) = run_miss_sweeps(&cfg, kernel, &all);
+        let kopts = opts.for_kernel(kernel);
+        let (l1, l2, modeled, report) = run_miss_sweeps_supervised(&cfg, kernel, &all, &kopts)
+            .unwrap_or_else(|e| {
+                eprintln!("table3: {e}");
+                std::process::exit(2);
+            });
+        verdict.merge(&report);
         let perf = if with_perf {
-            Some(run_sweep(&cfg, kernel, &all, Metric::MFlops))
+            let (r, report) = run_sweep_supervised(&cfg, kernel, &all, Metric::MFlops, &kopts)
+                .unwrap_or_else(|e| {
+                    eprintln!("table3: {e}");
+                    std::process::exit(2);
+                });
+            verdict.merge(&report);
+            Some(r)
         } else {
             None
         };
@@ -116,5 +137,5 @@ fn main() {
     println!("  JACOBI   % perf 13/10/16/17/-1   L1 1.9/3.7/4.8/5.1/1.6   L2 0.7/0.7/0.7/0.7/-0.2");
     println!("  REDBLACK % perf 89/74/120/121/10 L1 6.3/9.3/12.5/12.6/2.8 L2 2.0/1.8/2.0/2.0/-0.5");
     println!("  RESID    % perf 16/17/27/24/4    L1 1.9/2.5/4.7/4.7/2.2   L2 0.3/0.3/0.3/0.3/0.0");
-    driver::finish();
+    driver::finish_sweep(&verdict);
 }

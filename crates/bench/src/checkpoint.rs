@@ -1,0 +1,369 @@
+//! Sweep checkpoint/resume: an append-only JSONL log of completed points.
+//!
+//! Long sweeps pass `--checkpoint PATH` to append one [`PointRecord`] line
+//! per completed point (flushed per line, so a `SIGKILL` loses at most the
+//! line being written); `--resume` reloads the log, skips the restored
+//! points, and recomputes only the remainder. Metric payloads travel as
+//! **bit-exact hex strings** of the `f64` bits, so a resumed sweep's table
+//! output is byte-identical to an uninterrupted run (proven by the
+//! fault-injection suite and the CI kill-and-resume smoke test).
+//!
+//! The file format is governed by `checkpoint.schema.golden`, validated by
+//! the same engine as the obs trace schema ([`tiling3d_obs::validate`]);
+//! `tiling3d trace-check CKPT --schema crates/bench/checkpoint.schema.golden`
+//! checks a checkpoint from the command line.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use tiling3d_core::Transform;
+use tiling3d_obs::json::{self, Json};
+use tiling3d_obs::validate::{self, TraceReport};
+use tiling3d_stencil::kernels::Kernel;
+
+use crate::SweepConfig;
+
+/// The checked-in golden schema for checkpoint files.
+pub const GOLDEN_SCHEMA: &str = include_str!("../checkpoint.schema.golden");
+
+/// Checkpoint format version (bumped on breaking layout changes).
+pub const VERSION: u64 = 1;
+
+/// One completed sweep point as stored in the log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointRecord {
+    /// The point key (see [`point_key`]).
+    pub key: String,
+    /// L1 miss rate (percent), bit-exact.
+    pub l1_pct: f64,
+    /// L2 miss rate (percent), bit-exact.
+    pub l2_pct: f64,
+    /// Model-derived MFlops, bit-exact.
+    pub modeled: f64,
+}
+
+/// The canonical key for one sweep point. Stable across runs: a pure
+/// function of the point's coordinates.
+pub fn point_key(kernel: Kernel, t: Transform, n: usize, nk: usize) -> String {
+    format!("{}:{}:n{n}:nk{nk}", kernel.name(), t.name())
+}
+
+/// The sweep fingerprint stored in the header: a resumed run must present
+/// an identical fingerprint, otherwise the restored points would belong
+/// to a different experiment.
+pub fn fingerprint(cfg: &SweepConfig, kernel: Kernel, transforms: &[Transform]) -> String {
+    let ts: Vec<&str> = transforms.iter().map(|t| t.name()).collect();
+    format!(
+        "{}:{}-{}/{}:nk{}:l1={}B:l2={}B:[{}]",
+        kernel.name(),
+        cfg.n_min,
+        cfg.n_max,
+        cfg.step,
+        cfg.nk,
+        cfg.l1.size_bytes,
+        cfg.l2.size_bytes,
+        ts.join(",")
+    )
+}
+
+fn bits_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn bits_parse(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad bits field '{s}'"))
+}
+
+impl PointRecord {
+    fn render(&self) -> String {
+        Json::obj(vec![
+            ("ev", Json::str("point")),
+            ("key", Json::str(self.key.clone())),
+            ("l1_bits", Json::str(bits_hex(self.l1_pct))),
+            ("l1_pct", Json::Num(self.l1_pct)),
+            ("l2_bits", Json::str(bits_hex(self.l2_pct))),
+            ("l2_pct", Json::Num(self.l2_pct)),
+            ("modeled", Json::Num(self.modeled)),
+            ("modeled_bits", Json::str(bits_hex(self.modeled))),
+        ])
+        .render()
+    }
+
+    fn parse(v: &Json) -> Result<PointRecord, String> {
+        let key = v
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or("point missing 'key'")?
+            .to_string();
+        let bits = |name: &str| -> Result<f64, String> {
+            bits_parse(
+                v.get(name)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("point missing '{name}'"))?,
+            )
+        };
+        Ok(PointRecord {
+            key,
+            l1_pct: bits("l1_bits")?,
+            l2_pct: bits("l2_bits")?,
+            modeled: bits("modeled_bits")?,
+        })
+    }
+}
+
+/// An open checkpoint log: the points restored at open time plus an
+/// append handle for newly completed ones. Shared by worker threads
+/// through the internal mutex.
+#[derive(Debug)]
+pub struct CheckpointLog {
+    restored: BTreeMap<String, PointRecord>,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl CheckpointLog {
+    /// Opens a checkpoint at `path`.
+    ///
+    /// Without `resume` the file is created (truncating any previous
+    /// content) and a header carrying `fingerprint` is written. With
+    /// `resume`, an existing file is reloaded first: the header must match
+    /// `fingerprint` exactly, completed points are restored (last record
+    /// wins on duplicates), and a corrupt **final** line — the signature
+    /// of a kill mid-write — is dropped with a warning; corruption
+    /// anywhere else is a hard error. A missing file under `resume`
+    /// degrades to a fresh start.
+    pub fn open(path: &Path, fingerprint: &str, resume: bool) -> Result<CheckpointLog, String> {
+        let mut restored = BTreeMap::new();
+        let exists = path.exists();
+        if resume && exists {
+            restored = load(path, fingerprint)?;
+        }
+        let fresh = !resume || !exists;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(!fresh)
+            .write(true)
+            .truncate(fresh)
+            .open(path)
+            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+        let log = CheckpointLog {
+            restored,
+            writer: Mutex::new(BufWriter::new(file)),
+        };
+        if fresh {
+            let header = Json::obj(vec![
+                ("config", Json::str(fingerprint)),
+                ("ev", Json::str("sweep_header")),
+                ("version", Json::uint(VERSION)),
+            ])
+            .render();
+            log.append_line(&header)?;
+        }
+        Ok(log)
+    }
+
+    /// The points restored at open time (empty for a fresh log).
+    pub fn restored(&self) -> &BTreeMap<String, PointRecord> {
+        &self.restored
+    }
+
+    /// Appends one completed point and flushes, so the record survives a
+    /// kill immediately after.
+    pub fn record(&self, rec: &PointRecord) -> Result<(), String> {
+        self.append_line(&rec.render())
+    }
+
+    fn append_line(&self, line: &str) -> Result<(), String> {
+        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
+        writeln!(w, "{line}")
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("checkpoint write failed: {e}"))
+    }
+}
+
+/// Reloads `path`, enforcing the header fingerprint and tolerating a
+/// corrupt final line.
+fn load(path: &Path, fingerprint: &str) -> Result<BTreeMap<String, PointRecord>, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut restored = BTreeMap::new();
+    let mut header_seen = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let parsed = json::parse(line);
+        let v = match parsed {
+            Ok(v) => v,
+            Err(e) if idx + 1 == lines.len() => {
+                tiling3d_obs::error(&format!(
+                    "checkpoint {}: dropping corrupt final line (interrupted write): {e}",
+                    path.display()
+                ));
+                continue;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "checkpoint {}: line {}: {e}",
+                    path.display(),
+                    idx + 1
+                ))
+            }
+        };
+        match v.get("ev").and_then(Json::as_str) {
+            Some("sweep_header") => {
+                let cfg = v.get("config").and_then(Json::as_str).unwrap_or("");
+                if cfg != fingerprint {
+                    return Err(format!(
+                        "checkpoint {}: sweep fingerprint mismatch\n  checkpoint: {cfg}\n  this run:   {fingerprint}",
+                        path.display()
+                    ));
+                }
+                header_seen = true;
+            }
+            Some("point") => {
+                let rec = PointRecord::parse(&v)
+                    .map_err(|e| format!("checkpoint {}: line {}: {e}", path.display(), idx + 1))?;
+                restored.insert(rec.key.clone(), rec);
+            }
+            other => {
+                return Err(format!(
+                    "checkpoint {}: line {}: unknown event {other:?}",
+                    path.display(),
+                    idx + 1
+                ))
+            }
+        }
+    }
+    if !header_seen {
+        return Err(format!(
+            "checkpoint {}: missing sweep_header (not a checkpoint file?)",
+            path.display()
+        ));
+    }
+    Ok(restored)
+}
+
+/// Validates a checkpoint file against the golden schema — parseability
+/// plus per-kind field:type signatures, via the obs validation engine.
+pub fn validate_file(path: &Path) -> Result<TraceReport, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let golden = validate::parse_schema(GOLDEN_SCHEMA)?;
+    Ok(validate::check_trace_str(&text, &golden))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tiling3d-ckpt-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn rec(key: &str, seed: f64) -> PointRecord {
+        PointRecord {
+            key: key.to_string(),
+            l1_pct: seed + 0.125,
+            l2_pct: seed / 3.0,
+            modeled: seed * 7.5,
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly_and_validates() {
+        let path = tmp("roundtrip.jsonl");
+        let fp = "demo:64-80/8:nk8";
+        {
+            let log = CheckpointLog::open(&path, fp, false).unwrap();
+            assert!(log.restored().is_empty());
+            // 1.0/3.0 has a non-terminating decimal expansion: the bits
+            // fields, not the human-readable ones, must carry the value.
+            log.record(&rec("a", 1.0 / 3.0)).unwrap();
+            log.record(&rec("b", 2.5)).unwrap();
+        }
+        let report = validate_file(&path).unwrap();
+        assert!(report.is_ok(), "{}", report.summary());
+        let log = CheckpointLog::open(&path, fp, true).unwrap();
+        assert_eq!(log.restored().len(), 2);
+        let a = &log.restored()["a"];
+        assert_eq!(a.l1_pct.to_bits(), (1.0f64 / 3.0 + 0.125).to_bits());
+        assert_eq!(a.modeled.to_bits(), (1.0f64 / 3.0 * 7.5).to_bits());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_hard_error() {
+        let path = tmp("mismatch.jsonl");
+        CheckpointLog::open(&path, "fingerprint-A", false).unwrap();
+        let err = CheckpointLog::open(&path, "fingerprint-B", true).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_final_line_is_dropped_but_midfile_corruption_is_fatal() {
+        let path = tmp("torn.jsonl");
+        let fp = "fp";
+        {
+            let log = CheckpointLog::open(&path, fp, false).unwrap();
+            log.record(&rec("a", 1.0)).unwrap();
+        }
+        // Simulate a kill mid-write: a torn trailing line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"ev\":\"poi").unwrap();
+        drop(f);
+        let log = CheckpointLog::open(&path, fp, true).unwrap();
+        assert_eq!(log.restored().len(), 1, "intact records survive");
+        drop(log);
+
+        // Corruption before the end is not a torn write — refuse.
+        let text = format!(
+            "{}\nnot json\n{}\n",
+            Json::obj(vec![
+                ("config", Json::str(fp)),
+                ("ev", Json::str("sweep_header")),
+                ("version", Json::uint(VERSION)),
+            ])
+            .render(),
+            rec("a", 1.0).render()
+        );
+        std::fs::write(&path, text).unwrap();
+        let err = CheckpointLog::open(&path, fp, true).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_missing_file_starts_fresh() {
+        let path = tmp("fresh.jsonl");
+        std::fs::remove_file(&path).ok();
+        let log = CheckpointLog::open(&path, "fp", true).unwrap();
+        assert!(log.restored().is_empty());
+        drop(log);
+        // The fresh start still wrote a valid header.
+        let log = CheckpointLog::open(&path, "fp", true).unwrap();
+        assert!(log.restored().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keys_and_fingerprints_are_stable() {
+        assert_eq!(
+            point_key(Kernel::Jacobi, Transform::GcdPad, 200, 30),
+            "JACOBI:GcdPad:n200:nk30"
+        );
+        let cfg = SweepConfig::default();
+        let fp = fingerprint(&cfg, Kernel::Resid, &[Transform::Orig, Transform::Tile]);
+        assert!(fp.contains("RESID:200-400/8"), "{fp}");
+        assert!(fp.contains("[Orig,Tile]"), "{fp}");
+    }
+}

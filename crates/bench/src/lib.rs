@@ -21,15 +21,23 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod fault;
 pub mod microbench;
 pub mod plot;
 pub mod pool;
+pub mod supervise;
 
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
+use checkpoint::{CheckpointLog, PointRecord};
+use fault::FaultPlan;
 pub use pool::SimPool;
+pub use supervise::{SupervisePolicy, SweepError};
 use tiling3d_cachesim::{CacheConfig, Hierarchy, Throughput, ThroughputTimer};
 use tiling3d_core::{CacheSpec, Transform, TransformPlan};
+use tiling3d_grid::health;
 use tiling3d_obs as obs;
 use tiling3d_obs::flags::{FlagSpec, ParsedFlags};
 use tiling3d_stencil::kernels::Kernel;
@@ -122,6 +130,135 @@ impl SweepConfig {
     }
 }
 
+/// Robustness options for one sweep: supervision policy, checkpoint /
+/// resume, and (for the chaos harness) an armed fault plan. Separate from
+/// [`SweepConfig`] — that stays `Copy` and describes *what* to sweep;
+/// this describes *how to survive* sweeping it.
+#[derive(Debug, Default)]
+pub struct SweepOptions {
+    /// Retry / deadline / fail-fast policy for every point.
+    pub policy: SupervisePolicy,
+    /// Append completed points to this JSONL checkpoint
+    /// (see [`checkpoint`]).
+    pub checkpoint: Option<PathBuf>,
+    /// Restore completed points from the checkpoint before sweeping and
+    /// compute only the remainder.
+    pub resume: bool,
+    /// Deterministic fault plan, armed by the chaos harness and the
+    /// integration suite; `None` in production runs.
+    pub fault: Option<FaultPlan>,
+}
+
+impl SweepOptions {
+    /// The shared robustness flags every supervised driver declares,
+    /// alongside [`SweepConfig::FLAGS`].
+    pub const FLAGS: &'static [FlagSpec] = &[
+        FlagSpec::switch(
+            "--strict",
+            "fail fast: abort the sweep on the first point error",
+        ),
+        FlagSpec::usize("--retries", Some("1"), "retries per failed sweep point"),
+        FlagSpec::usize(
+            "--deadline-ms",
+            Some("0"),
+            "per-point deadline in milliseconds (0 = unlimited)",
+        ),
+        FlagSpec::str(
+            "--checkpoint",
+            None,
+            "append completed points to this JSONL checkpoint",
+        ),
+        FlagSpec::switch("--resume", "skip points already in --checkpoint"),
+    ];
+
+    /// Builds sweep options from parsed flags, reading whichever of the
+    /// shared robustness flags the command declared (undeclared ones keep
+    /// defaults, like [`SweepConfig::from_flags`]).
+    pub fn from_flags(flags: &ParsedFlags) -> Result<Self, String> {
+        let mut policy = SupervisePolicy::default();
+        if let Some(r) = flags.opt_usize("--retries") {
+            policy.retries = u32::try_from(r).unwrap_or(u32::MAX);
+        }
+        if let Some(ms) = flags.opt_usize("--deadline-ms") {
+            if ms > 0 {
+                policy.deadline =
+                    Some(Duration::from_millis(u64::try_from(ms).unwrap_or(u64::MAX)));
+            }
+        }
+        policy.fail_fast = flags.opt_switch("--strict");
+        let checkpoint = flags.opt_str("--checkpoint").map(PathBuf::from);
+        let resume = flags.opt_switch("--resume");
+        if resume && checkpoint.is_none() {
+            return Err("--resume requires --checkpoint PATH".to_string());
+        }
+        Ok(SweepOptions {
+            policy,
+            checkpoint,
+            resume,
+            fault: None,
+        })
+    }
+
+    /// A per-kernel view of these options for drivers sweeping several
+    /// kernels: the checkpoint base path grows a `.KERNEL` suffix so each
+    /// kernel's sweep owns its own file (checkpoints are fingerprinted
+    /// per sweep). The fault plan is not carried over — faults are armed
+    /// per sweep by the chaos harness.
+    pub fn for_kernel(&self, kernel: Kernel) -> SweepOptions {
+        SweepOptions {
+            policy: self.policy,
+            checkpoint: self
+                .checkpoint
+                .as_ref()
+                .map(|p| PathBuf::from(format!("{}.{}", p.display(), kernel.name()))),
+            resume: self.resume,
+            fault: None,
+        }
+    }
+}
+
+/// What happened to a supervised sweep: how much ran, how much was
+/// restored from a checkpoint, and which points failed.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Points in the sweep.
+    pub total: usize,
+    /// Points restored from the checkpoint instead of recomputed.
+    pub restored: usize,
+    /// Failed points as `(key, error)`, in sweep order.
+    pub failures: Vec<(String, SweepError)>,
+}
+
+impl SweepReport {
+    /// True when every point completed (freshly or restored).
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Folds another report into this one (drivers running several
+    /// kernels accumulate a single exit verdict).
+    pub fn merge(&mut self, other: &SweepReport) {
+        self.total += other.total;
+        self.restored += other.restored;
+        self.failures.extend(other.failures.iter().cloned());
+    }
+
+    /// Human summary: one line of totals plus one line per failure.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "sweep: {}/{} points ok ({} restored, {} failed)",
+            self.total - self.failures.len(),
+            self.total,
+            self.restored,
+            self.failures.len()
+        );
+        for (key, err) in &self.failures {
+            out.push_str(&format!("\n  FAILED {key}: {err}"));
+        }
+        out
+    }
+}
+
 /// Resolves the plan for (kernel, transform, n) under this sweep's cache,
 /// via the certified path: the transform's schedule is proved legal for
 /// the kernel's dependence set before any trace is generated, so every
@@ -180,22 +317,69 @@ pub fn simulate(cfg: &SweepConfig, kernel: Kernel, t: Transform, n: usize) -> Si
     }
 }
 
-/// Simulates every `(n, transform)` point of a sweep on the configured
-/// worker pool, returning one row of [`SimPoint`]s per size (in size
-/// order, transforms in column order) plus the aggregate engine
-/// throughput. All pooled sweeps funnel through here; results are
-/// bit-identical for any `cfg.jobs`.
-pub fn simulate_grid(
+/// A supervised sweep grid: per-point `Result`s in sweep order, engine
+/// throughput over the freshly computed points, and the failure report.
+#[derive(Debug)]
+pub struct SupervisedGrid {
+    /// Rows `(n, per-transform results)` in size order.
+    pub rows: Vec<(usize, Vec<Result<SimPoint, SweepError>>)>,
+    /// Aggregate engine throughput (freshly computed points only;
+    /// restored points carry no timing).
+    pub throughput: Throughput,
+    /// Totals and failures.
+    pub report: SweepReport,
+}
+
+/// Rejects a simulated point whose metrics are non-finite — the
+/// simulate-path numerical sentinel.
+fn point_health(p: &SimPoint) -> Result<(), SweepError> {
+    for (name, v) in [
+        ("l1_pct", p.l1_pct),
+        ("l2_pct", p.l2_pct),
+        ("modeled", p.modeled),
+    ] {
+        if !v.is_finite() {
+            return Err(SweepError::Unhealthy {
+                reason: format!("non-finite {name} ({v})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The fault-tolerant core every pooled sweep funnels through: simulates
+/// every `(n, transform)` point under the supervision policy
+/// ([`SimPool::try_map`]), restores / records checkpointed points, and
+/// health-checks each result. One bad point degrades to one `Err` slot;
+/// the `Ok` subset stays bit-identical for any `cfg.jobs` and for
+/// interrupted-then-resumed runs (DESIGN.md §13).
+///
+/// # Errors
+/// Returns `Err` only for setup failures (an unusable or mismatched
+/// checkpoint) — per-point trouble is reported in the grid itself.
+pub fn simulate_grid_supervised(
     cfg: &SweepConfig,
     kernel: Kernel,
     transforms: &[Transform],
-) -> (Vec<(usize, Vec<SimPoint>)>, Throughput) {
+    opts: &SweepOptions,
+) -> Result<SupervisedGrid, String> {
     let sizes = cfg.sizes();
     let points: Vec<(usize, Transform)> = sizes
         .iter()
         .flat_map(|&n| transforms.iter().map(move |&t| (n, t)))
         .collect();
-    let pool = cfg.pool();
+    let keys: Vec<String> = points
+        .iter()
+        .map(|&(n, t)| checkpoint::point_key(kernel, t, n, cfg.nk))
+        .collect();
+    let log = match &opts.checkpoint {
+        Some(path) => Some(CheckpointLog::open(
+            path,
+            &checkpoint::fingerprint(cfg, kernel, transforms),
+            opts.resume,
+        )?),
+        None => None,
+    };
     let total = points.len();
     let _span = if obs::collecting() {
         let s = obs::span(&format!("sweep:{}", kernel.name()));
@@ -204,15 +388,79 @@ pub fn simulate_grid(
     } else {
         None
     };
+    // Slot in restored points, then compute only the remainder.
+    let mut flat: Vec<Option<Result<SimPoint, SweepError>>> = vec![None; total];
+    let mut todo: Vec<usize> = Vec::with_capacity(total);
+    let mut restored = 0usize;
+    for (i, key) in keys.iter().enumerate() {
+        match log.as_ref().and_then(|l| l.restored().get(key)) {
+            Some(rec) => {
+                restored += 1;
+                flat[i] = Some(Ok(SimPoint {
+                    l1_pct: rec.l1_pct,
+                    l2_pct: rec.l2_pct,
+                    modeled: rec.modeled,
+                    sim: Throughput::default(),
+                }));
+            }
+            None => todo.push(i),
+        }
+    }
     let label = format!("{} simulate", kernel.name());
-    let flat = pool.map_with_progress(
-        &points,
-        |&(n, t)| simulate(cfg, kernel, t, n),
-        |done| obs::progress(&label, done as u64, total as u64),
+    let pending = todo.len();
+    let computed = cfg.pool().try_map_with_progress(
+        &todo,
+        &opts.policy,
+        |&i| {
+            let (n, t) = points[i];
+            let key = &keys[i];
+            // Fault injection (chaos harness only): panics and delays fire
+            // here, before the simulation; a NaN write poisons the result.
+            let poison = opts.fault.as_ref().is_some_and(|f| f.inject(key));
+            let mut p = simulate(cfg, kernel, t, n);
+            if poison {
+                opts.fault
+                    .as_ref()
+                    .expect("poison implies a plan")
+                    .poison_sim(&mut p);
+            }
+            point_health(&p)?;
+            if let Some(l) = &log {
+                // A checkpoint write failure degrades the checkpoint, not
+                // the sweep: the point is still good.
+                if let Err(e) = l.record(&PointRecord {
+                    key: key.clone(),
+                    l1_pct: p.l1_pct,
+                    l2_pct: p.l2_pct,
+                    modeled: p.modeled,
+                }) {
+                    obs::error(&e);
+                }
+            }
+            Ok(p)
+        },
+        |done| obs::progress(&label, done as u64, pending as u64),
     );
-    let mut tp = Throughput::default();
-    for p in &flat {
-        tp.merge(&p.sim);
+    let mut throughput = Throughput::default();
+    let mut report = SweepReport {
+        total,
+        restored,
+        failures: Vec::new(),
+    };
+    for (i, r) in todo.into_iter().zip(computed) {
+        if let Ok(p) = &r {
+            throughput.merge(&p.sim);
+        }
+        flat[i] = Some(r);
+    }
+    let flat: Vec<Result<SimPoint, SweepError>> = flat
+        .into_iter()
+        .map(|slot| slot.expect("every sweep slot settled"))
+        .collect();
+    for (key, r) in keys.iter().zip(&flat) {
+        if let Err(e) = r {
+            report.failures.push((key.clone(), e.clone()));
+        }
     }
     let cols = transforms.len();
     let rows = sizes
@@ -220,7 +468,41 @@ pub fn simulate_grid(
         .enumerate()
         .map(|(r, &n)| (n, flat[r * cols..(r + 1) * cols].to_vec()))
         .collect();
-    (rows, tp)
+    Ok(SupervisedGrid {
+        rows,
+        throughput,
+        report,
+    })
+}
+
+/// Simulates every `(n, transform)` point of a sweep on the configured
+/// worker pool, returning one row of [`SimPoint`]s per size (in size
+/// order, transforms in column order) plus the aggregate engine
+/// throughput. Thin fail-fast wrapper over [`simulate_grid_supervised`]
+/// for callers that still want the pre-supervision contract; results are
+/// bit-identical for any `cfg.jobs`.
+///
+/// # Panics
+/// Panics if any point fails terminally (after the default retry).
+pub fn simulate_grid(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    transforms: &[Transform],
+) -> (Vec<(usize, Vec<SimPoint>)>, Throughput) {
+    let sg = simulate_grid_supervised(cfg, kernel, transforms, &SweepOptions::default())
+        .unwrap_or_else(|e| panic!("sweep setup failed: {e}"));
+    let rows = sg
+        .rows
+        .into_iter()
+        .map(|(n, pts)| {
+            let vals = pts
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|e| panic!("sweep point failed: {e}")))
+                .collect();
+            (n, vals)
+        })
+        .collect();
+    (rows, sg.throughput)
 }
 
 /// L1 and L2 miss rates only (compatibility helper).
@@ -270,6 +552,41 @@ pub fn measure_mflops_parallel(
     flops / best / 1e6
 }
 
+/// Like [`measure_mflops`] but with the numerical sentinel: after the
+/// warm-up sweep the kernel's output grid is scanned for NaN/Inf
+/// ([`tiling3d_grid::health::scan`]) and a poisoned grid surfaces as
+/// [`SweepError::Unhealthy`] instead of silently contaminating the
+/// figure. `fault` (chaos harness only) may plant a NaN write first.
+pub fn measure_mflops_checked(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    t: Transform,
+    n: usize,
+    fault: Option<&FaultPlan>,
+) -> Result<f64, SweepError> {
+    let key = checkpoint::point_key(kernel, t, n, cfg.nk);
+    let poison = fault.is_some_and(|f| f.inject(&key));
+    let p = plan_for(cfg, kernel, t, n);
+    let mut state = kernel.make_state(n, cfg.nk, &p, 0x5EED);
+    kernel.run(&mut state, p.tile); // warm-up (and page-in)
+    if poison {
+        fault
+            .expect("poison implies a plan")
+            .poison_grid(0x5EED, &key, state.output_mut());
+    }
+    health::scan(state.output()).map_err(|issue| SweepError::Unhealthy {
+        reason: format!("{} output has {issue}", kernel.name()),
+    })?;
+    let flops = kernel.sweep_flops(n, cfg.nk) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps.max(1) {
+        let t0 = Instant::now();
+        kernel.run(&mut state, p.tile);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Ok(flops / best / 1e6)
+}
+
 /// Model-derived MFlops from a cache simulation: every access costs one
 /// cycle, an L1 miss adds `10`, an L2 miss adds `60` (UltraSparc2-era
 /// penalties), clocked at 360 MHz like the paper's machine.
@@ -297,17 +614,27 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    /// Column-mean of each transform's values.
+    /// Column-mean of each transform's values. Non-finite entries — the
+    /// placeholder a supervised sweep leaves for a failed point — are
+    /// skipped, so a degraded sweep still reports meaningful means over
+    /// the points that completed (a column with no finite value at all
+    /// yields NaN).
     pub fn means(&self) -> Vec<f64> {
         let cols = self.transforms.len();
         let mut sums = vec![0.0; cols];
+        let mut counts = vec![0usize; cols];
         for (_, vals) in &self.rows {
-            for (s, v) in sums.iter_mut().zip(vals) {
-                *s += v;
+            for (c, v) in vals.iter().enumerate() {
+                if v.is_finite() {
+                    sums[c] += v;
+                    counts[c] += 1;
+                }
             }
         }
-        let n = self.rows.len().max(1) as f64;
-        sums.iter().map(|s| s / n).collect()
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, &n)| if n == 0 { f64::NAN } else { s / n as f64 })
+            .collect()
     }
 
     /// Renders an aligned plain-text table (and optional CSV) to stdout.
@@ -321,12 +648,24 @@ impl SweepResult {
             for (n, vals) in &self.rows {
                 print!("{n}");
                 for v in vals {
-                    print!(",{v:.3}");
+                    // Failed points render as empty CSV cells.
+                    if v.is_finite() {
+                        print!(",{v:.3}");
+                    } else {
+                        print!(",");
+                    }
                 }
                 println!();
             }
             return;
         }
+        let cell = |v: f64| {
+            if v.is_finite() {
+                format!("{v:>10.2}")
+            } else {
+                format!("{:>10}", "-")
+            }
+        };
         print!("{:>6}", "N");
         for t in &self.transforms {
             print!("{:>10}", t.name());
@@ -335,13 +674,13 @@ impl SweepResult {
         for (n, vals) in &self.rows {
             print!("{n:>6}");
             for v in vals {
-                print!("{v:>10.2}");
+                print!("{}", cell(*v));
             }
             println!();
         }
         print!("{:>6}", "mean");
         for v in self.means() {
-            print!("{v:>10.2}");
+            print!("{}", cell(v));
         }
         println!();
     }
@@ -360,23 +699,35 @@ pub enum Metric {
     ModeledMFlops,
 }
 
-/// Runs a metric sweep for one kernel over the configured sizes and the
-/// given transforms, with a progress line per size on stderr.
-pub fn run_sweep(
+/// The per-point value a [`SweepResult`] stores for a failed point: a
+/// quiet NaN, rendered as `-` by [`SweepResult::print`] and skipped by
+/// [`SweepResult::means`].
+const FAILED_POINT: f64 = f64::NAN;
+
+/// Supervised [`run_sweep`]: one bad point degrades to a `-` cell and an
+/// entry in the returned [`SweepReport`] instead of aborting the sweep.
+/// Simulation metrics run on the pool under the policy; wall-clock MFlops
+/// stay sequential (so concurrent workers can't perturb timings) but each
+/// point is still panic-isolated, retried, deadline-checked, and
+/// health-scanned. Checkpoint/resume applies to the simulation metrics —
+/// wall-clock measurements are remeasured, not restored.
+///
+/// # Errors
+/// Returns `Err` only for setup failures (an unusable checkpoint).
+pub fn run_sweep_supervised(
     cfg: &SweepConfig,
     kernel: Kernel,
     transforms: &[Transform],
     metric: Metric,
-) -> SweepResult {
+    opts: &SweepOptions,
+) -> Result<(SweepResult, SweepReport), String> {
     let name = match metric {
         Metric::L1MissRate => "L1 miss %",
         Metric::L2MissRate => "L2 miss %",
         Metric::MFlops => "MFlops",
         Metric::ModeledMFlops => "MFlops (modeled)",
     };
-    let rows = if metric == Metric::MFlops {
-        // Wall-clock measurement: always sequential so concurrent workers
-        // can't perturb the timings.
+    if metric == Metric::MFlops {
         let _span = if obs::collecting() {
             Some(obs::span(&format!("measure:{}", kernel.name())))
         } else {
@@ -386,56 +737,122 @@ pub fn run_sweep(
         let sizes = cfg.sizes();
         let total = sizes.len() as u64;
         let mut rows = Vec::new();
+        let mut report = SweepReport::default();
+        let mut aborted = false;
         for (i, n) in sizes.into_iter().enumerate() {
-            let vals = transforms
-                .iter()
-                .map(|&t| measure_mflops(cfg, kernel, t, n))
-                .collect();
+            let mut vals = Vec::with_capacity(transforms.len());
+            for &t in transforms {
+                report.total += 1;
+                if aborted {
+                    vals.push(FAILED_POINT);
+                    report.failures.push((
+                        checkpoint::point_key(kernel, t, n, cfg.nk),
+                        SweepError::Aborted,
+                    ));
+                    continue;
+                }
+                let r = supervise::supervise_item(&opts.policy, || {
+                    measure_mflops_checked(cfg, kernel, t, n, opts.fault.as_ref())
+                });
+                match r {
+                    Ok(v) => vals.push(v),
+                    Err(e) => {
+                        vals.push(FAILED_POINT);
+                        aborted = opts.policy.fail_fast;
+                        report
+                            .failures
+                            .push((checkpoint::point_key(kernel, t, n, cfg.nk), e));
+                    }
+                }
+            }
             rows.push((n, vals));
             obs::progress(&label, i as u64 + 1, total);
         }
-        rows
-    } else {
-        let (grid, _) = simulate_grid(cfg, kernel, transforms);
-        grid.into_iter()
-            .map(|(n, pts)| {
-                let vals = pts
-                    .iter()
-                    .map(|p| match metric {
+        return Ok((
+            SweepResult {
+                metric: name,
+                transforms: transforms.to_vec(),
+                rows,
+            },
+            report,
+        ));
+    }
+    let sg = simulate_grid_supervised(cfg, kernel, transforms, opts)?;
+    let rows = sg
+        .rows
+        .into_iter()
+        .map(|(n, pts)| {
+            let vals = pts
+                .iter()
+                .map(|r| match r {
+                    Ok(p) => match metric {
                         Metric::L1MissRate => p.l1_pct,
                         Metric::L2MissRate => p.l2_pct,
                         _ => p.modeled,
-                    })
-                    .collect();
-                (n, vals)
-            })
-            .collect()
-    };
-    SweepResult {
-        metric: name,
-        transforms: transforms.to_vec(),
-        rows,
-    }
+                    },
+                    Err(_) => FAILED_POINT,
+                })
+                .collect();
+            (n, vals)
+        })
+        .collect();
+    Ok((
+        SweepResult {
+            metric: name,
+            transforms: transforms.to_vec(),
+            rows,
+        },
+        sg.report,
+    ))
 }
 
-/// Runs the L1 and L2 miss-rate sweeps together (one simulation per
-/// configuration instead of two) — used by `table3` and `fig_miss --l2`.
-pub fn run_miss_sweeps(
+/// Runs a metric sweep for one kernel over the configured sizes and the
+/// given transforms, with a progress line per size on stderr. Fail-fast
+/// wrapper over [`run_sweep_supervised`].
+///
+/// # Panics
+/// Panics if any point fails terminally.
+pub fn run_sweep(
     cfg: &SweepConfig,
     kernel: Kernel,
     transforms: &[Transform],
-) -> (SweepResult, SweepResult, SweepResult) {
-    let (grid, tp) = simulate_grid(cfg, kernel, transforms);
-    obs::info(&format!("engine: {}", tp.summary()));
+    metric: Metric,
+) -> SweepResult {
+    let (result, report) =
+        run_sweep_supervised(cfg, kernel, transforms, metric, &SweepOptions::default())
+            .unwrap_or_else(|e| panic!("sweep setup failed: {e}"));
+    assert!(report.is_ok(), "{}", report.summary());
+    result
+}
+
+/// Supervised [`run_miss_sweeps`]: the L1 / L2 / modeled-MFlops sweeps
+/// from one simulation pass, plus the failure report (failed points
+/// render as `-` in all three tables).
+///
+/// # Errors
+/// Returns `Err` only for setup failures (an unusable checkpoint).
+pub fn run_miss_sweeps_supervised(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    transforms: &[Transform],
+    opts: &SweepOptions,
+) -> Result<(SweepResult, SweepResult, SweepResult, SweepReport), String> {
+    let sg = simulate_grid_supervised(cfg, kernel, transforms, opts)?;
+    obs::info(&format!("engine: {}", sg.throughput.summary()));
     let mut rows1 = Vec::new();
     let mut rows2 = Vec::new();
     let mut rows3 = Vec::new();
-    for (n, pts) in grid {
-        rows1.push((n, pts.iter().map(|p| p.l1_pct).collect()));
-        rows2.push((n, pts.iter().map(|p| p.l2_pct).collect()));
-        rows3.push((n, pts.iter().map(|p| p.modeled).collect()));
+    for (n, pts) in &sg.rows {
+        let pick = |f: fn(&SimPoint) -> f64| -> Vec<f64> {
+            pts.iter()
+                .map(|r| r.as_ref().map(f).unwrap_or(FAILED_POINT))
+                .collect()
+        };
+        rows1.push((*n, pick(|p| p.l1_pct)));
+        rows2.push((*n, pick(|p| p.l2_pct)));
+        rows3.push((*n, pick(|p| p.modeled)));
     }
-    (
+    Ok((
         SweepResult {
             metric: "L1 miss %",
             transforms: transforms.to_vec(),
@@ -451,7 +868,26 @@ pub fn run_miss_sweeps(
             transforms: transforms.to_vec(),
             rows: rows3,
         },
-    )
+        sg.report,
+    ))
+}
+
+/// Runs the L1 and L2 miss-rate sweeps together (one simulation per
+/// configuration instead of two) — used by `table3` and `fig_miss --l2`.
+/// Fail-fast wrapper over [`run_miss_sweeps_supervised`].
+///
+/// # Panics
+/// Panics if any point fails terminally.
+pub fn run_miss_sweeps(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    transforms: &[Transform],
+) -> (SweepResult, SweepResult, SweepResult) {
+    let (r1, r2, r3, report) =
+        run_miss_sweeps_supervised(cfg, kernel, transforms, &SweepOptions::default())
+            .unwrap_or_else(|e| panic!("sweep setup failed: {e}"));
+    assert!(report.is_ok(), "{}", report.summary());
+    (r1, r2, r3)
 }
 
 /// Shared driver plumbing: every bench binary parses its command line
@@ -486,6 +922,20 @@ pub mod driver {
     /// Flushes the observability layer at driver exit.
     pub fn finish() {
         let _ = obs::shutdown();
+    }
+
+    /// Driver exit for supervised sweeps: prints the failure summary (if
+    /// any) to stderr, flushes observability, and exits `1` when the
+    /// sweep completed degraded — so automation can tell "all points
+    /// good" (0) from "tables rendered but some points failed" (1) from
+    /// "usage error" (2).
+    pub fn finish_sweep(report: &crate::SweepReport) -> ! {
+        let ok = report.is_ok();
+        if !ok {
+            eprintln!("{}", report.summary());
+        }
+        finish();
+        std::process::exit(i32::from(!ok));
     }
 }
 

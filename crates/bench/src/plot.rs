@@ -9,9 +9,12 @@ use crate::SweepResult;
 /// The y-axis is shared across series (global min/max of the sweep), each
 /// series gets its own lane of `height` rows, and every column is one
 /// problem size. Values are marked with `*`; the lane is labelled with the
-/// transform name and its mean.
+/// transform name and its mean. Degenerate inputs degrade instead of
+/// panicking: `height` is clamped to 2 and non-finite values (the
+/// placeholder a supervised sweep leaves for failed points) render as
+/// gaps.
 pub fn render(result: &SweepResult, height: usize) -> String {
-    assert!(height >= 2, "need at least two rows per lane");
+    let height = height.max(2);
     let mut out = String::new();
     let cols = result.rows.len();
     if cols == 0 {
@@ -42,6 +45,9 @@ pub fn render(result: &SweepResult, height: usize) -> String {
         let mut lane = vec![vec![b' '; cols]; height];
         for (c, (_, vals)) in result.rows.iter().enumerate() {
             let v = vals[t_idx];
+            if !v.is_finite() {
+                continue; // failed point: leave a gap in the lane
+            }
             let frac = (v - lo) / (hi - lo);
             let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
             lane[row.min(height - 1)][c] = b'*';
@@ -55,7 +61,7 @@ pub fn render(result: &SweepResult, height: usize) -> String {
                 format!("{:>8} |", "")
             };
             out.push_str(&label);
-            out.push_str(std::str::from_utf8(row).expect("ascii lane"));
+            out.extend(row.iter().map(|&b| b as char));
             out.push('\n');
         }
     }
@@ -126,6 +132,17 @@ mod tests {
         };
         let s = render(&r, 3);
         assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn degenerate_height_and_failed_points_degrade_gracefully() {
+        // height 0 clamps instead of panicking.
+        assert!(render(&sample(), 0).contains('*'));
+        // A failed (NaN) point leaves a gap: one star fewer, no panic.
+        let mut r = sample();
+        r.rows[2].1[0] = f64::NAN;
+        let s = render(&r, 5);
+        assert_eq!(s.matches('*').count(), 2 * 4 - 1);
     }
 
     #[test]

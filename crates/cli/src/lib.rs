@@ -14,6 +14,7 @@
 //! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew]
 //! tiling3d measure     --kernel redblack --n 192 [--nk 30] [--transform orig] [--reps 3] [--jobs N]
 //! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl]
+//! tiling3d chaos       [--kernel jacobi] [--min 40 --max 56 --step 8 --nk 8] [--seed 42] [--faults 2] [--jobs N]
 //! tiling3d trace-check trace.jsonl [--schema schema.golden]
 //! ```
 //!
@@ -25,7 +26,19 @@
 //!
 //! `simulate --transform all` replays every transformation's trace, one
 //! pool worker per transform (`--jobs 0` / default = all cores); the
-//! reported miss rates are identical for any worker count.
+//! reported miss rates are identical for any worker count. `simulate` and
+//! `measure` run every point under the fault-tolerant supervision path
+//! (`--retries`, `--deadline-ms`, `--strict` — see DESIGN.md §13): a
+//! panicking or numerically unhealthy point is reported as a typed error
+//! instead of crashing the process.
+//!
+//! `chaos` is the deterministic fault-injection harness: it sweeps the
+//! kernel fault-free to establish a baseline, then re-runs the sweep under
+//! seeded panic / delay / NaN-write fault campaigns and verifies that each
+//! armed point degrades to exactly the expected typed error while every
+//! other point stays bit-identical to the baseline — and that with
+//! once-only faults plus retries the whole sweep recovers bit-identically.
+//! Any violated expectation makes the command exit non-zero.
 //!
 //! `analyze` runs the dependence-based legality analyzer: it prints each
 //! schedule's dependence set, transformation steps and verdict, and exits
@@ -53,7 +66,11 @@
 
 use std::fmt::Write as _;
 
-use tiling3d_bench::{simulate_grid, SimPool, SweepConfig};
+use tiling3d_bench::fault::{FaultKind, FaultMode, FaultPlan};
+use tiling3d_bench::{
+    checkpoint, simulate_grid, simulate_grid_supervised, supervise, SimPoint, SimPool, SweepConfig,
+    SweepError, SweepOptions,
+};
 use tiling3d_cachesim::{CacheConfig, Hierarchy};
 use tiling3d_core::legality::certificate_for;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
@@ -123,6 +140,11 @@ pub const COMMANDS: &[CommandDef] = &[
         name: "profile",
         flag_set: profile_flags,
         run: cmd_profile,
+    },
+    CommandDef {
+        name: "chaos",
+        flag_set: chaos_flags,
+        run: cmd_chaos,
     },
     CommandDef {
         name: "trace-check",
@@ -197,6 +219,14 @@ fn kernel(flags: &ParsedFlags) -> Result<Kernel, String> {
 
 fn cache_spec(flags: &ParsedFlags) -> CacheSpec {
     CacheSpec::from_bytes(flags.usize("--cache-kb") * 1024)
+}
+
+/// The supervision-policy subset of [`SweepOptions::FLAGS`] (`--strict`,
+/// `--retries`, `--deadline-ms`). `simulate` and `measure` declare these;
+/// checkpoint/resume stays with the bench sweep drivers, where sweeps are
+/// long enough to interrupt.
+fn policy_flags() -> &'static [FlagSpec] {
+    &SweepOptions::FLAGS[..3]
 }
 
 /// Is `--format json` in effect? Rejects formats the tiling3d subcommands
@@ -434,23 +464,25 @@ fn cmd_advise(flags: &ParsedFlags) -> Result<String, String> {
 // ---------------------------------------------------------------------------
 
 fn simulate_flags() -> FlagSet {
+    let mut flags = vec![
+        KERNEL_FLAG,
+        FlagSpec::usize("--n", None, "problem size N (required, >= 3)"),
+        NK_FLAG,
+        CACHE_KB_FLAG,
+        LINE_FLAG,
+        FlagSpec::str(
+            "--transform",
+            Some("pad"),
+            "transformation (orig|tile|euc3d|gcdpad|pad|gcdpadnt|all)",
+        ),
+        JOBS_FLAG,
+    ];
+    flags.extend_from_slice(policy_flags());
     FlagSet::new(
         "tiling3d simulate",
         "replay a kernel trace through the cache hierarchy",
         None,
-        &[
-            KERNEL_FLAG,
-            FlagSpec::usize("--n", None, "problem size N (required, >= 3)"),
-            NK_FLAG,
-            CACHE_KB_FLAG,
-            LINE_FLAG,
-            FlagSpec::str(
-                "--transform",
-                Some("pad"),
-                "transformation (orig|tile|euc3d|gcdpad|pad|gcdpadnt|all)",
-            ),
-            JOBS_FLAG,
-        ],
+        &flags,
     )
 }
 
@@ -468,10 +500,16 @@ fn cmd_simulate(flags: &ParsedFlags) -> Result<String, String> {
     if flags.str("--transform").eq_ignore_ascii_case("all") {
         return simulate_all(flags, kernel, n, nk, cache, l1);
     }
+    let opts = SweepOptions::from_flags(flags)?;
     let t: Transform = flags.parse_str("--transform")?;
-    let p = plan(t, cache, n, n, &kernel.shape());
-    let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
-    kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+    let (p, h) = supervise::supervise_item(&opts.policy, || {
+        let p = plan(t, cache, n, n, &kernel.shape());
+        let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
+        kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
+        sim_health(&h)?;
+        Ok((p, h))
+    })
+    .map_err(|e| format!("simulate: {} at N = {n} failed: {e}", t.name()))?;
     Ok(format!(
         "{} {n}x{n}x{nk} under {}: tile {:?}, dims {}x{}\n\
          L1 miss rate {:.2}% ({} misses / {} accesses); L2 miss rate {:.2}%\n",
@@ -487,9 +525,27 @@ fn cmd_simulate(flags: &ParsedFlags) -> Result<String, String> {
     ))
 }
 
+/// Rejects a simulated hierarchy with non-finite miss rates — the
+/// CLI-side numerical sentinel.
+fn sim_health(h: &Hierarchy) -> Result<(), SweepError> {
+    for (name, v) in [
+        ("L1 miss rate", h.l1_miss_rate_pct()),
+        ("L2 miss rate", h.l2_miss_rate_pct()),
+    ] {
+        if !v.is_finite() {
+            return Err(SweepError::Unhealthy {
+                reason: format!("non-finite {name} ({v})"),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// `simulate --transform all`: every transformation's trace, sharded one
-/// per pool worker. Transform order (and therefore output) is fixed;
-/// worker count only changes wall time.
+/// per pool worker under the supervision policy. Transform order (and
+/// therefore output) is fixed; worker count only changes wall time. A
+/// failed transform renders as a `FAILED` row and turns the invocation
+/// into an `Err` (non-zero exit) with the intact rows still shown.
 fn simulate_all(
     flags: &ParsedFlags,
     kernel: Kernel,
@@ -498,12 +554,14 @@ fn simulate_all(
     cache: CacheSpec,
     l1: CacheConfig,
 ) -> Result<String, String> {
+    let opts = SweepOptions::from_flags(flags)?;
     let pool = SimPool::new(flags.usize("--jobs"));
-    let rows = pool.map(&Transform::ALL, |&t| {
+    let rows = pool.try_map(&Transform::ALL, &opts.policy, |&t| {
         let p = plan(t, cache, n, n, &kernel.shape());
         let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
         kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut h);
-        (p, h)
+        sim_health(&h)?;
+        Ok((p, h))
     });
     let mut out = format!(
         "{} {n}x{n}x{nk}, all transforms ({} workers):\n{:<10}{:>10}{:>14}{:>12}{:>12}\n",
@@ -515,16 +573,29 @@ fn simulate_all(
         "L1 miss %",
         "L2 miss %"
     );
-    for (&t, (p, h)) in Transform::ALL.iter().zip(&rows) {
-        let _ = writeln!(
-            out,
-            "{:<10}{:>10}{:>14}{:>12.2}{:>12.2}",
-            t.name(),
-            p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
-            format!("{}x{}", p.padded_di, p.padded_dj),
-            h.l1_miss_rate_pct(),
-            h.l2_miss_rate_pct(),
-        );
+    let mut failed = 0usize;
+    for (&t, row) in Transform::ALL.iter().zip(&rows) {
+        match row {
+            Ok((p, h)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<10}{:>10}{:>14}{:>12.2}{:>12.2}",
+                    t.name(),
+                    p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
+                    format!("{}x{}", p.padded_di, p.padded_dj),
+                    h.l1_miss_rate_pct(),
+                    h.l2_miss_rate_pct(),
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                let _ = writeln!(out, "{:<10}FAILED: {e}", t.name());
+            }
+        }
+    }
+    if failed > 0 {
+        let _ = writeln!(out, "{failed} transform(s) failed");
+        return Err(out);
     }
     Ok(out)
 }
@@ -697,22 +768,24 @@ fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
 // ---------------------------------------------------------------------------
 
 fn measure_flags() -> FlagSet {
+    let mut flags = vec![
+        KERNEL_FLAG,
+        FlagSpec::usize("--n", Some("128"), "problem size N"),
+        NK_FLAG,
+        FlagSpec::str(
+            "--transform",
+            Some("orig"),
+            "transformation to run (orig|euc3d|tile|pad|gcdpad)",
+        ),
+        FlagSpec::usize("--reps", Some("3"), "timed repetitions (best-of)"),
+        JOBS_FLAG,
+    ];
+    flags.extend_from_slice(policy_flags());
     FlagSet::new(
         "tiling3d measure",
         "wall-clock the row-engine sweep, sequential vs K-slab parallel",
         None,
-        &[
-            KERNEL_FLAG,
-            FlagSpec::usize("--n", Some("128"), "problem size N"),
-            NK_FLAG,
-            FlagSpec::str(
-                "--transform",
-                Some("orig"),
-                "transformation to run (orig|euc3d|tile|pad|gcdpad)",
-            ),
-            FlagSpec::usize("--reps", Some("3"), "timed repetitions (best-of)"),
-            JOBS_FLAG,
-        ],
+        &flags,
     )
 }
 
@@ -754,9 +827,27 @@ fn cmd_measure(flags: &ParsedFlags) -> Result<String, String> {
         ));
     }
 
+    // The timed arms run under the supervision path: panic-isolated,
+    // retried, deadline-checked, and health-scanned (the sequential arm
+    // goes through `measure_mflops_checked`, which scans the output grid
+    // for NaN/Inf before accepting the timing).
+    let opts = SweepOptions::from_flags(flags)?;
     let flops = kernel.sweep_flops(n, cfg.nk) as f64;
-    let seq_mflops = tiling3d_bench::measure_mflops(&cfg, kernel, t, n);
-    let par_mflops = tiling3d_bench::measure_mflops_parallel(&cfg, kernel, t, n, cfg.jobs);
+    let seq_mflops = supervise::supervise_item(&opts.policy, || {
+        tiling3d_bench::measure_mflops_checked(&cfg, kernel, t, n, None)
+    })
+    .map_err(|e| format!("measure: sequential arm failed: {e}"))?;
+    let par_mflops = supervise::supervise_item(&opts.policy, || {
+        let v = tiling3d_bench::measure_mflops_parallel(&cfg, kernel, t, n, cfg.jobs);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(SweepError::Unhealthy {
+                reason: format!("non-finite parallel MFlops ({v})"),
+            })
+        }
+    })
+    .map_err(|e| format!("measure: parallel arm failed: {e}"))?;
     let mut out = format!(
         "measure: {} {n}x{n}x{} ({}, {}), {:.0} MFlop/sweep\n",
         kernel.name(),
@@ -874,6 +965,230 @@ fn cmd_profile(flags: &ParsedFlags) -> Result<String, String> {
     }
     out.push_str("\nspan tree (wall-clock, % of run):\n");
     out.push_str(&obs::render_tree(&trace));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// chaos
+// ---------------------------------------------------------------------------
+
+fn chaos_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d chaos",
+        "seeded fault-injection campaign over a supervised sweep",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--min", Some("40"), "smallest problem size"),
+            FlagSpec::usize("--max", Some("56"), "largest problem size"),
+            FlagSpec::usize("--step", Some("8"), "size stride"),
+            FlagSpec::usize("--nk", Some("8"), "third-dimension extent"),
+            FlagSpec::usize("--seed", Some("42"), "campaign seed"),
+            FlagSpec::usize("--faults", Some("2"), "points faulted per campaign"),
+            FlagSpec::usize(
+                "--retries",
+                Some("1"),
+                "retries per point in the recovery campaigns",
+            ),
+            JOBS_FLAG,
+        ],
+    )
+}
+
+/// Sleep a fault-injected delay lasts; the paired per-point deadline in
+/// the delay campaigns is [`CHAOS_DEADLINE`]. The gap is wide enough that
+/// a healthy point at the default chaos sizes never trips the deadline
+/// while an injected delay always does, even on a slow debug build.
+const CHAOS_DELAY: std::time::Duration = std::time::Duration::from_millis(600);
+/// Per-point deadline during the delay campaigns.
+const CHAOS_DEADLINE: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Do two simulated points carry bit-identical metrics?
+fn same_bits(a: &SimPoint, b: &SimPoint) -> bool {
+    a.l1_pct.to_bits() == b.l1_pct.to_bits()
+        && a.l2_pct.to_bits() == b.l2_pct.to_bits()
+        && a.modeled.to_bits() == b.modeled.to_bits()
+}
+
+/// Does this terminal error match what the injected fault kind must
+/// produce? (`root()` unwraps any `RetriesExhausted` wrapper.)
+fn expected_error(kind: FaultKind, e: &SweepError) -> bool {
+    match kind {
+        FaultKind::Panic => matches!(e.root(), SweepError::Panicked { .. }),
+        FaultKind::Delay(_) => matches!(e.root(), SweepError::DeadlineExceeded { .. }),
+        FaultKind::NanWrite => matches!(e.root(), SweepError::Unhealthy { .. }),
+    }
+}
+
+/// One chaos campaign: sweep under an armed fault plan, then check every
+/// point against the fault-free baseline. Returns `(summary line, number
+/// of violated expectations)`.
+#[allow(clippy::too_many_arguments)]
+fn chaos_campaign(
+    cfg: &SweepConfig,
+    kernel: Kernel,
+    transforms: &[Transform],
+    baseline: &[(usize, Vec<Result<SimPoint, SweepError>>)],
+    label: &str,
+    plan: FaultPlan,
+    retries: u32,
+    expect_recovery: bool,
+) -> Result<(String, usize), String> {
+    let kind = plan
+        .kind_at(plan.armed().first().copied().unwrap_or_default())
+        .unwrap_or(FaultKind::Panic);
+    let armed: Vec<String> = plan.armed().iter().map(ToString::to_string).collect();
+    let mut policy = supervise::SupervisePolicy {
+        retries,
+        backoff: std::time::Duration::from_millis(1),
+        ..supervise::SupervisePolicy::default()
+    };
+    if matches!(kind, FaultKind::Delay(_)) {
+        policy.deadline = Some(CHAOS_DEADLINE);
+    }
+    let opts = SweepOptions {
+        policy,
+        fault: Some(plan),
+        ..SweepOptions::default()
+    };
+    let sg = simulate_grid_supervised(cfg, kernel, transforms, &opts)?;
+    let mut violations = Vec::new();
+    for ((n, row), (_, base_row)) in sg.rows.iter().zip(baseline) {
+        for ((&t, got), base) in transforms.iter().zip(row).zip(base_row) {
+            let key = checkpoint::point_key(kernel, t, *n, cfg.nk);
+            let is_armed = armed.contains(&key);
+            match (got, base) {
+                (Ok(p), Ok(b)) => {
+                    if is_armed && !expect_recovery {
+                        violations.push(format!("{key}: fault injected but point succeeded"));
+                    } else if !same_bits(p, b) {
+                        violations.push(format!("{key}: result differs from fault-free baseline"));
+                    }
+                }
+                (Err(e), Ok(_)) => {
+                    if !is_armed {
+                        violations.push(format!("{key}: unfaulted point failed: {e}"));
+                    } else if expect_recovery {
+                        violations.push(format!("{key}: expected recovery via retry, got: {e}"));
+                    } else if !expected_error(kind, e) {
+                        violations.push(format!("{key}: wrong error for {}: {e}", kind.name()));
+                    }
+                }
+                (_, Err(e)) => return Err(format!("chaos: baseline point {key} failed: {e}")),
+            }
+        }
+    }
+    let verdict = if violations.is_empty() { "ok" } else { "!!" };
+    let mut line = format!(
+        "  [{verdict}] {label:<22} {} faulted, {} points checked",
+        armed.len(),
+        sg.report.total
+    );
+    for v in &violations {
+        line.push_str(&format!("\n       {v}"));
+    }
+    Ok((line, violations.len()))
+}
+
+/// `chaos`: the deterministic fault-injection harness. Establishes a
+/// fault-free baseline sweep, then runs six seeded campaigns — panic /
+/// NaN-write / delay faults, each in always-fire (graceful-degradation)
+/// and fire-once-plus-retry (recovery) mode — verifying typed errors at
+/// exactly the armed points, bit-identical results everywhere else, and
+/// full bit-identical recovery when retries can win. Exits non-zero on
+/// any violated expectation.
+fn cmd_chaos(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let cfg = SweepConfig {
+        n_min: flags.usize("--min"),
+        n_max: flags.usize("--max"),
+        step: flags.usize("--step").max(1),
+        nk: flags.usize("--nk"),
+        jobs: flags.usize("--jobs"),
+        ..SweepConfig::default()
+    };
+    if cfg.n_min < 3 || cfg.n_max < cfg.n_min {
+        return Err("chaos requires 3 <= --min <= --max".into());
+    }
+    let seed = flags.usize("--seed") as u64;
+    let faults = flags.usize("--faults").max(1);
+    let retries = u32::try_from(flags.usize("--retries").max(1)).unwrap_or(u32::MAX);
+    supervise::silence_expected_panics();
+
+    let transforms = Transform::ALL;
+    let keys: Vec<String> = cfg
+        .sizes()
+        .iter()
+        .flat_map(|&n| {
+            transforms
+                .iter()
+                .map(move |&t| checkpoint::point_key(kernel, t, n, cfg.nk))
+        })
+        .collect();
+
+    let base = simulate_grid_supervised(&cfg, kernel, &transforms, &SweepOptions::default())?;
+    if !base.report.is_ok() {
+        return Err(format!(
+            "chaos: fault-free baseline failed:\n{}",
+            base.report.summary()
+        ));
+    }
+
+    let mut out = format!(
+        "chaos: {} N = {}..{} step {} ({} points, {} workers), seed {seed}, {faults} fault(s)/campaign\n",
+        kernel.name(),
+        cfg.n_min,
+        cfg.n_max,
+        cfg.step,
+        keys.len(),
+        cfg.pool().jobs(),
+    );
+    let kinds = [
+        FaultKind::Panic,
+        FaultKind::NanWrite,
+        FaultKind::Delay(CHAOS_DELAY),
+    ];
+    let mut total_violations = 0usize;
+    for kind in kinds {
+        // Graceful degradation: the fault fires on every attempt, so the
+        // armed points must fail with the matching typed error.
+        let plan = FaultPlan::seeded(seed, &keys, faults, kind, FaultMode::Always);
+        let (line, v) = chaos_campaign(
+            &cfg,
+            kernel,
+            &transforms,
+            &base.rows,
+            &format!("{}/always", kind.name()),
+            plan,
+            0,
+            false,
+        )?;
+        out.push_str(&line);
+        out.push('\n');
+        total_violations += v;
+
+        // Recovery: the fault fires once per point, so a retry completes
+        // the sweep bit-identically to the fault-free baseline.
+        let plan = FaultPlan::seeded(seed, &keys, faults, kind, FaultMode::Once);
+        let (line, v) = chaos_campaign(
+            &cfg,
+            kernel,
+            &transforms,
+            &base.rows,
+            &format!("{}/once+retry", kind.name()),
+            plan,
+            retries,
+            true,
+        )?;
+        out.push_str(&line);
+        out.push('\n');
+        total_violations += v;
+    }
+    if total_violations > 0 {
+        let _ = writeln!(out, "chaos: {total_violations} violated expectation(s)");
+        return Err(out);
+    }
+    out.push_str("chaos: all campaigns passed\n");
     Ok(out)
 }
 
@@ -1146,6 +1461,33 @@ mod tests {
         assert!(out.contains("anti"), "{out}");
         assert!(out.contains("skew"), "schedule steps in:\n{out}");
         assert!(out.contains("LEGAL"), "{out}");
+    }
+
+    #[test]
+    fn chaos_campaigns_pass_and_are_jobs_invariant() {
+        for jobs in [1, 4] {
+            let out = run_line(&format!(
+                "chaos --kernel jacobi --min 16 --max 24 --step 8 --nk 4 --seed 7 --faults 1 --jobs {jobs}"
+            ))
+            .unwrap_or_else(|e| panic!("chaos failed at --jobs {jobs}:\n{e}"));
+            assert!(out.contains("all campaigns passed"), "{out}");
+            for label in [
+                "panic/always",
+                "panic/once+retry",
+                "nan-write/always",
+                "nan-write/once+retry",
+                "delay/always",
+                "delay/once+retry",
+            ] {
+                assert!(out.contains(label), "missing campaign {label}:\n{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_degenerate_sizes() {
+        let err = run_line("chaos --min 2 --max 1").unwrap_err();
+        assert!(err.contains("chaos requires"), "{err}");
     }
 
     #[test]

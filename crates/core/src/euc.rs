@@ -262,6 +262,42 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_costs_are_rejected_not_selected() {
+        // Cost-model edge: any array tile at or under the stencil spans
+        // trims to a non-positive iteration tile, whose cost is infinite.
+        // `euc3d_select` must drop such candidates rather than let an
+        // INFINITY (or the NaN it would breed downstream) win.
+        let cost = CostModel::from_shape(&StencilShape::jacobi3d());
+        assert!(cost.eval(0, 5).is_infinite());
+        assert!(cost.eval(5, 0).is_infinite());
+        assert!(cost.eval(-3, -7).is_infinite());
+        assert!(cost.eval_array_tile(2, 13).is_infinite()); // ti - m = 0
+        assert!(cost.eval_array_tile(13, 2).is_infinite()); // tj - n = 0
+
+        // End to end: every candidate that survives selection is finite,
+        // for healthy and pathological dimensions alike.
+        for &d in &[200usize, 256, 341] {
+            let sel = euc3d_select(
+                spec(),
+                d,
+                d,
+                &StencilShape::jacobi3d(),
+                &Euc3dOptions {
+                    depths: Some(1..=4),
+                    unit_tile_fallback: false,
+                },
+            );
+            assert!(
+                sel.candidates.iter().all(|c| c.cost.is_finite()),
+                "di={d} leaked a non-finite candidate"
+            );
+            if let Some(b) = sel.best {
+                assert!(b.cost.is_finite(), "di={d} selected a non-finite best");
+            }
+        }
+    }
+
+    #[test]
     fn tiny_cache_returns_none() {
         // A 4-element cache cannot hold any trimmed Jacobi tile.
         let sel = euc3d_checked(

@@ -1,0 +1,252 @@
+//! Numerical health sentinels: NaN/Inf grid scans and residual-divergence
+//! detection.
+//!
+//! A NaN born mid-sweep silently poisons every downstream aggregate (means,
+//! tables, plots) because `f64::max` ignores NaN operands — [`crate::linf_norm`]
+//! is NaN-blind by construction. The sentinels here make non-finite values
+//! loud instead: [`scan`] walks a grid's logical region row by row (the same
+//! contiguous-row access pattern as the stencil row engine, so the scan
+//! autovectorizes and costs a fraction of one sweep) and reports the first
+//! offending cell, while [`ResidualSentinel`] watches a residual-norm series
+//! for non-finite values and monotone divergence across V-cycles.
+
+use std::fmt;
+
+use crate::Array3;
+
+/// The class of non-finite value a scan found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NonFiniteKind {
+    /// A `NaN` payload.
+    Nan,
+    /// `+inf` or `-inf`.
+    Inf,
+}
+
+impl fmt::Display for NonFiniteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonFiniteKind::Nan => write!(f, "NaN"),
+            NonFiniteKind::Inf => write!(f, "Inf"),
+        }
+    }
+}
+
+/// Outcome of scanning one grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthIssue {
+    /// What was found.
+    pub kind: NonFiniteKind,
+    /// Logical coordinates `(i, j, k)` of the first offending cell.
+    pub at: (usize, usize, usize),
+}
+
+impl fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at ({}, {}, {})",
+            self.kind, self.at.0, self.at.1, self.at.2
+        )
+    }
+}
+
+/// Scans the logical region of a grid for non-finite values.
+///
+/// Returns the first offender in storage order (`i` fastest, then `j`,
+/// then `k` — column-major like the arrays themselves), or `Ok(())` when
+/// every logical cell is finite. Padding cells are not scanned: they are
+/// never read by the kernels, so garbage there is not an error.
+pub fn scan(a: &Array3<f64>) -> Result<(), HealthIssue> {
+    let data = a.as_slice();
+    let (ni, nj, nk) = (a.ni(), a.nj(), a.nk());
+    for k in 0..nk {
+        for j in 0..nj {
+            let off = a.offset_of(0, j, k);
+            let row = &data[off..off + ni];
+            // Cheap vectorizable pre-check: summing the row yields a
+            // non-finite value iff the row contains one (finite f64 sums
+            // cannot overflow to infinity from |x| <= MAX/row_len inputs;
+            // if they do overflow, that is itself an Inf worth reporting).
+            let sum: f64 = row.iter().sum();
+            if sum.is_finite() {
+                continue;
+            }
+            for (i, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    let kind = if v.is_nan() {
+                        NonFiniteKind::Nan
+                    } else {
+                        NonFiniteKind::Inf
+                    };
+                    return Err(HealthIssue {
+                        kind,
+                        at: (i, j, k),
+                    });
+                }
+            }
+            // The row summed non-finite from magnitude overflow alone;
+            // report the largest-magnitude cell as the offender.
+            let (i, _) = row
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs()))
+                .unwrap_or((0, &0.0));
+            return Err(HealthIssue {
+                kind: NonFiniteKind::Inf,
+                at: (i, j, k),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Watches a residual-norm series for numerical trouble: any non-finite
+/// norm is an immediate failure, and `patience` consecutive strict
+/// increases flag monotone divergence (a healthy multigrid V-cycle
+/// *reduces* the residual every iteration; see DESIGN.md §13).
+#[derive(Clone, Debug)]
+pub struct ResidualSentinel {
+    patience: usize,
+    last: Option<f64>,
+    rising: usize,
+    issue: Option<String>,
+}
+
+impl ResidualSentinel {
+    /// A sentinel that flags divergence after `patience` consecutive
+    /// strictly-increasing residual norms (`patience` is clamped to >= 1).
+    pub fn new(patience: usize) -> Self {
+        ResidualSentinel {
+            patience: patience.max(1),
+            last: None,
+            rising: 0,
+            issue: None,
+        }
+    }
+
+    /// Feeds the next residual norm; returns the verdict so far. Once a
+    /// sentinel has tripped it stays tripped.
+    pub fn observe(&mut self, norm: f64) -> Result<(), String> {
+        if self.issue.is_none() {
+            if !norm.is_finite() {
+                self.issue = Some(format!("non-finite residual norm {norm}"));
+            } else {
+                if let Some(prev) = self.last {
+                    if norm > prev {
+                        self.rising += 1;
+                    } else {
+                        self.rising = 0;
+                    }
+                }
+                if self.rising >= self.patience {
+                    self.issue = Some(format!(
+                        "residual diverged: {} consecutive increases (latest {norm:.3e})",
+                        self.rising
+                    ));
+                }
+                self.last = Some(norm);
+            }
+        }
+        self.verdict()
+    }
+
+    /// The verdict so far without feeding a new observation.
+    pub fn verdict(&self) -> Result<(), String> {
+        match &self.issue {
+            None => Ok(()),
+            Some(e) => Err(e.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fill_random, Xorshift64};
+
+    #[test]
+    fn clean_grid_passes() {
+        let mut a = Array3::<f64>::with_padding(8, 7, 5, 11, 9);
+        fill_random(&mut a, 42);
+        assert_eq!(scan(&a), Ok(()));
+    }
+
+    #[test]
+    fn padding_garbage_is_ignored() {
+        let mut a = Array3::<f64>::with_padding(4, 4, 2, 7, 6);
+        fill_random(&mut a, 1);
+        // Poison a pad cell (i >= ni): legal, never read by kernels.
+        let off = a.offset_of(0, 0, 0) + 5; // i = 5 >= ni = 4
+        a.as_mut_slice()[off] = f64::NAN;
+        assert_eq!(scan(&a), Ok(()));
+    }
+
+    #[test]
+    fn scan_reports_first_offender_and_kind() {
+        let mut a = Array3::<f64>::new(4, 4, 4);
+        fill_random(&mut a, 2);
+        a.set(2, 1, 3, f64::NAN);
+        a.set(3, 2, 3, f64::INFINITY); // later in storage order
+        let issue = scan(&a).unwrap_err();
+        assert_eq!(issue.kind, NonFiniteKind::Nan);
+        assert_eq!(issue.at, (2, 1, 3));
+        a.set(2, 1, 3, 0.0);
+        let issue = scan(&a).unwrap_err();
+        assert_eq!(issue.kind, NonFiniteKind::Inf);
+        assert_eq!(issue.at, (3, 2, 3));
+        assert!(issue.to_string().contains("Inf at (3, 2, 3)"));
+    }
+
+    /// Property test: a single NaN injected at a seeded position anywhere
+    /// in the logical region — any row, any plane, padded or not — is
+    /// always caught, and the reported coordinates are exact.
+    #[test]
+    fn single_injected_nan_is_always_caught() {
+        let mut rng = Xorshift64::new(0xFA_017);
+        for trial in 0..200 {
+            let ni = 1 + rng.next_below(12);
+            let nj = 1 + rng.next_below(10);
+            let nk = 1 + rng.next_below(6);
+            let di = ni + rng.next_below(4);
+            let dj = nj + rng.next_below(3);
+            let mut a = Array3::<f64>::with_padding(ni, nj, nk, di, dj);
+            fill_random(&mut a, trial);
+            let at = (rng.next_below(ni), rng.next_below(nj), rng.next_below(nk));
+            a.set(at.0, at.1, at.2, f64::NAN);
+            let issue = scan(&a).expect_err("sentinel must catch the NaN");
+            assert_eq!(issue.kind, NonFiniteKind::Nan, "trial {trial}");
+            assert_eq!(issue.at, at, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn magnitude_overflow_rows_are_flagged() {
+        let mut a = Array3::<f64>::new(4, 1, 1);
+        a.fill(f64::MAX);
+        let issue = scan(&a).unwrap_err();
+        assert_eq!(issue.kind, NonFiniteKind::Inf);
+    }
+
+    #[test]
+    fn sentinel_trips_on_nonfinite_and_divergence() {
+        let mut s = ResidualSentinel::new(3);
+        assert!(s.observe(1.0).is_ok());
+        assert!(s.observe(f64::NAN).is_err());
+        assert!(s.observe(0.1).is_err(), "tripped sentinels stay tripped");
+
+        let mut s = ResidualSentinel::new(3);
+        for norm in [10.0, 5.0, 6.0, 7.0] {
+            assert!(s.observe(norm).is_ok(), "only 2 consecutive rises");
+        }
+        assert!(s.observe(8.0).is_err(), "3rd consecutive rise trips");
+
+        // Convergent series never trips.
+        let mut s = ResidualSentinel::new(1);
+        let mut norm = 100.0;
+        for _ in 0..50 {
+            assert!(s.observe(norm).is_ok());
+            norm *= 0.5;
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 mod array2;
 mod array3;
+pub mod health;
 mod init;
 mod norms;
 

@@ -95,6 +95,36 @@ mod tests {
     }
 
     #[test]
+    fn ulp_equal_rejects_one_sided_nan_and_infinities() {
+        // Each NaN branch of the comparator separately: NaN on the left,
+        // on the right, and NaN against an infinity.
+        assert!(!ulp_equal(f64::NAN, 1.0, u64::MAX));
+        assert!(!ulp_equal(1.0, f64::NAN, u64::MAX));
+        assert!(!ulp_equal(f64::NAN, f64::INFINITY, u64::MAX));
+        assert!(!ulp_equal(f64::NEG_INFINITY, f64::NAN, u64::MAX));
+        // Infinities compare like ordinary floats: equal to themselves,
+        // sign-mismatched against each other.
+        assert!(ulp_equal(f64::INFINITY, f64::INFINITY, 0));
+        assert!(!ulp_equal(f64::INFINITY, f64::NEG_INFINITY, u64::MAX));
+        // Sign check precedes the magnitude check even for tiny values
+        // a single ULP from zero.
+        let tiny = f64::from_bits(1);
+        assert!(!ulp_equal(tiny, -tiny, u64::MAX));
+    }
+
+    #[test]
+    fn norms_propagate_injected_nan() {
+        // `linf_norm` is NaN-blind (f64::max ignores NaN) — that is why
+        // the health module's scan exists — but `l2_norm` propagates it.
+        let mut a = Array3::<f64>::new(3, 3, 3);
+        a.fill_with(|_, _, _| 1.0);
+        a.set(1, 2, 0, f64::NAN);
+        assert!(l2_norm(&a).is_nan());
+        assert!(linf_norm(&a).is_finite());
+        assert!(crate::health::scan(&a).is_err());
+    }
+
+    #[test]
     fn diff_norms_between_padded_arrays() {
         let mut a = Array3::<f64>::new(3, 3, 3);
         let mut b = Array3::<f64>::with_padding(3, 3, 3, 6, 4);

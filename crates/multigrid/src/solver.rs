@@ -2,11 +2,16 @@
 
 use std::time::{Duration, Instant};
 
+use tiling3d_grid::health::{self, ResidualSentinel};
 use tiling3d_loopnest::TileDims;
 use tiling3d_stencil::resid::Coeffs;
 
 use crate::grid::PeriodicGrid;
 use crate::ops::{self, SmootherCoeffs};
+
+/// Consecutive strictly-increasing residual norms before the health
+/// sentinel declares divergence.
+const DIVERGENCE_PATIENCE: usize = 3;
 
 /// Solver configuration.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +34,11 @@ pub struct MgConfig {
     pub coeffs_a: Coeffs,
     /// The smoother coefficients.
     pub coeffs_c: SmootherCoeffs,
+    /// Run the numerical health sentinels after every V-cycle: scan the
+    /// finest solution grid for NaN/Inf and track residual-norm
+    /// divergence. Off by default — the scan costs one pass over the
+    /// finest grid per cycle.
+    pub health: bool,
 }
 
 impl MgConfig {
@@ -41,6 +51,7 @@ impl MgConfig {
             tile_psinv_finest: None,
             coeffs_a: Coeffs::MGRID_A,
             coeffs_c: SmootherCoeffs::MGRID_C,
+            health: false,
         }
     }
 }
@@ -91,6 +102,10 @@ pub struct MgSolver {
     v: PeriodicGrid,
     /// Accumulated per-routine accounting.
     pub stats: RoutineStats,
+    /// Divergence tracker, live only when `cfg.health` is set.
+    sentinel: Option<ResidualSentinel>,
+    /// First health problem found; sticky once set.
+    health_issue: Option<String>,
 }
 
 impl MgSolver {
@@ -122,6 +137,10 @@ impl MgSolver {
             r,
             v,
             stats: RoutineStats::default(),
+            sentinel: cfg
+                .health
+                .then(|| ResidualSentinel::new(DIVERGENCE_PATIENCE)),
+            health_issue: None,
         }
     }
 
@@ -236,7 +255,48 @@ impl MgSolver {
             self.stats.psinv_calls += 1;
         }
 
+        if self.cfg.health {
+            self.check_health(norm);
+        }
         norm
+    }
+
+    /// Runs the post-cycle sentinels: residual-divergence tracking on
+    /// `norm` and a NaN/Inf scan over the finest solution grid. The first
+    /// problem found is recorded (sticky) and counted on
+    /// `mg.health.unhealthy`.
+    fn check_health(&mut self, norm: f64) {
+        if self.health_issue.is_some() {
+            return;
+        }
+        let verdict = match &mut self.sentinel {
+            Some(s) => s.observe(norm),
+            None => Ok(()),
+        };
+        let issue = verdict.err().or_else(|| {
+            health::scan(self.u[self.cfg.levels - 1].array())
+                .err()
+                .map(|i| format!("finest solution grid has {i}"))
+        });
+        if let Some(msg) = issue {
+            tiling3d_obs::counter_add("mg.health.unhealthy", 1);
+            tiling3d_obs::error(&format!("mg health: {msg}"));
+            self.health_issue = Some(msg);
+        }
+    }
+
+    /// The health verdict so far: `Err` with the first problem the
+    /// sentinels found (non-finite cell in the finest solution, non-finite
+    /// residual norm, or monotone residual divergence), `Ok` otherwise.
+    /// Always `Ok` when [`MgConfig::health`] is off.
+    ///
+    /// # Errors
+    /// Returns the first recorded health issue.
+    pub fn health(&self) -> Result<(), String> {
+        match &self.health_issue {
+            None => Ok(()),
+            Some(e) => Err(e.clone()),
+        }
     }
 
     /// Runs `iters` V-cycles and returns the residual norms observed at
@@ -327,5 +387,53 @@ mod tests {
     #[should_panic]
     fn single_level_rejected() {
         let _ = MgSolver::new(MgConfig::mgrid(1));
+    }
+
+    #[test]
+    fn healthy_solve_reports_ok_and_matches_unsentineled_bits() {
+        let cfg = MgConfig {
+            health: true,
+            ..MgConfig::mgrid(4)
+        };
+        let mut a = rhs_filled(cfg, 21);
+        let mut b = rhs_filled(MgConfig::mgrid(4), 21);
+        a.solve(3);
+        b.solve(3);
+        assert_eq!(a.health(), Ok(()));
+        // The sentinel only observes — it must not perturb the numerics.
+        assert!(a.solution().array().logical_eq(b.solution().array()));
+    }
+
+    #[test]
+    fn injected_nan_in_rhs_trips_the_sentinel() {
+        let cfg = MgConfig {
+            health: true,
+            ..MgConfig::mgrid(3)
+        };
+        let mut s = MgSolver::new(cfg);
+        s.set_rhs(|i, j, k| {
+            if (i, j, k) == (3, 2, 5) {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        s.solve(1);
+        let err = s.health().unwrap_err();
+        assert!(
+            err.contains("non-finite") || err.contains("NaN"),
+            "unexpected verdict: {err}"
+        );
+        // Sticky: further cycles keep the first issue.
+        s.solve(1);
+        assert_eq!(s.health().unwrap_err(), err);
+    }
+
+    #[test]
+    fn health_off_never_reports() {
+        let mut s = MgSolver::new(MgConfig::mgrid(3));
+        s.set_rhs(|_, _, _| f64::NAN);
+        s.solve(2);
+        assert_eq!(s.health(), Ok(()));
     }
 }

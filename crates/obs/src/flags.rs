@@ -312,6 +312,25 @@ impl ParsedFlags {
         self.try_usize(name)
     }
 
+    /// Like [`ParsedFlags::switch`] but `false` when the flag was never
+    /// declared for this command — the switch analogue of
+    /// [`ParsedFlags::opt_usize`].
+    pub fn opt_switch(&self, name: &str) -> bool {
+        if !self.set.flags.iter().any(|f| f.name == name) {
+            return false;
+        }
+        self.switch(name)
+    }
+
+    /// Like [`ParsedFlags::try_str`] but also `None` when the flag was
+    /// never declared for this command.
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        if !self.set.flags.iter().any(|f| f.name == name) {
+            return None;
+        }
+        self.try_str(name)
+    }
+
     /// Is the switch present?
     pub fn switch(&self, name: &str) -> bool {
         let spec = self.spec(name);
@@ -430,6 +449,15 @@ mod tests {
         assert!(u.contains("--trace-out"), "{u}");
         assert!(u.contains("<kernel>"), "{u}");
         assert!(u.contains("[default: 64]"), "{u}");
+    }
+
+    #[test]
+    fn opt_getters_tolerate_undeclared_flags() {
+        let p = set().parse(&argv("--csv")).unwrap();
+        assert!(p.opt_switch("--csv"));
+        assert!(!p.opt_switch("--never-declared"));
+        assert_eq!(p.opt_str("--format"), Some("text"));
+        assert_eq!(p.opt_str("--never-declared"), None);
     }
 
     #[test]

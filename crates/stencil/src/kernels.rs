@@ -70,6 +70,27 @@ pub enum KernelState {
     },
 }
 
+impl KernelState {
+    /// The array the kernel writes: Jacobi's `A`, red-black's in-place
+    /// `A`, RESID's residual `R`. This is the grid the numerical health
+    /// sentinels scan after a sweep.
+    pub fn output(&self) -> &Array3<f64> {
+        match self {
+            KernelState::Jacobi { a, .. } | KernelState::RedBlack { a } => a,
+            KernelState::Resid { r, .. } => r,
+        }
+    }
+
+    /// Mutable access to the output array (see [`KernelState::output`]) —
+    /// how the fault-injection harness plants NaN writes.
+    pub fn output_mut(&mut self) -> &mut Array3<f64> {
+        match self {
+            KernelState::Jacobi { a, .. } | KernelState::RedBlack { a } => a,
+            KernelState::Resid { r, .. } => r,
+        }
+    }
+}
+
 impl Kernel {
     /// All three kernels in the paper's table order.
     pub const ALL: [Kernel; 3] = [Kernel::Jacobi, Kernel::RedBlack, Kernel::Resid];
