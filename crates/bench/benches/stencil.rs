@@ -17,12 +17,14 @@ use std::hint::black_box;
 
 use tiling3d_bench::microbench::{run, run_pair, to_json, Measurement};
 use tiling3d_bench::{plan_for, SimPool, SweepConfig};
-use tiling3d_core::Transform;
+use tiling3d_core::{plan_temporal, CacheSpec, TemporalKernel, Transform};
+use tiling3d_grid::{fill_random, Array3};
 use tiling3d_loopnest::TileDims;
 use tiling3d_stencil::kernels::{Kernel, KernelState};
 use tiling3d_stencil::redblack::Schedule;
-use tiling3d_stencil::reference;
 use tiling3d_stencil::resid::Coeffs;
+use tiling3d_stencil::timetile::{self, TimeTile};
+use tiling3d_stencil::{parallel, reference};
 
 /// Runs one per-point reference sweep on harness-allocated state — the
 /// baseline arm of every A/B pair.
@@ -127,6 +129,124 @@ fn main() {
                 derived.push((format!("gflops_{}_t{th}", kernel.name()), rate / 1e9));
             }
             results.push(m);
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Temporal A/B: T iterated sweeps under the best spatial-only plan vs
+    // the time-skewed (T, K') schedule, at a size whose working set busts
+    // the cache so cross-timestep reuse is the only win available. Both
+    // arms run the same row-segment engine; a golden gate holds the
+    // time-tiled result bitwise equal to the iterated reference first.
+    let steps = 8usize;
+    let (tn, tnk) = if quick { (48, 24) } else { (192, 96) };
+    let tcfg = SweepConfig {
+        nk: tnk,
+        ..Default::default()
+    };
+    let mut threads: Vec<usize> = vec![1, 2, cores];
+    threads.sort_unstable();
+    threads.dedup();
+
+    for kernel in [Kernel::Jacobi, Kernel::RedBlack] {
+        let p = plan_for(&tcfg, kernel, Transform::GcdPad, tn);
+        let t = p.tile.map(|(ti, tj)| TileDims::new(ti, tj));
+        let tkern = match kernel {
+            Kernel::Jacobi => TemporalKernel::Jacobi,
+            _ => TemporalKernel::RedBlack,
+        };
+        let tplan = plan_temporal(
+            tkern,
+            CacheSpec::from_bytes(8 * 1024 * 1024),
+            tn * tn,
+            steps,
+            cores,
+        );
+        let tile = TimeTile {
+            st: tplan.st,
+            sk: tplan.sk,
+        };
+        let label = format!("{}_T{steps}", kernel.name());
+        let tflops = kernel.sweep_flops(tn, tnk) * steps as u64;
+        let mut seed_buf = Array3::with_padding(tn, tn, tnk, p.padded_di, p.padded_dj);
+        fill_random(&mut seed_buf, 0x5EED);
+
+        // Golden gate: the time-tiled schedule must reproduce T reference
+        // sweeps bitwise (wavefront-parallel, to exercise the planes too).
+        match kernel {
+            Kernel::Jacobi => {
+                let mut golden = [seed_buf.clone(), seed_buf.clone()];
+                timetile::jacobi_steps_reference(&mut golden, 1.0 / 6.0, steps);
+                let mut tiled = [seed_buf.clone(), seed_buf.clone()];
+                timetile::jacobi_time_tiled(&mut tiled, 1.0 / 6.0, steps, tile, 2);
+                assert!(
+                    golden[steps % 2].logical_eq(&tiled[steps % 2]),
+                    "{label}: time-tiled diverged from iterated reference"
+                );
+            }
+            _ => {
+                let mut golden = seed_buf.clone();
+                timetile::redblack_steps_reference(&mut golden, 0.4, 0.1, steps);
+                let mut tiled = seed_buf.clone();
+                timetile::redblack_time_tiled(&mut tiled, 0.4, 0.1, steps, tile, 2);
+                assert!(
+                    golden.logical_eq(&tiled),
+                    "{label}: time-tiled diverged from iterated reference"
+                );
+            }
+        }
+
+        for &th in &threads {
+            let spatial = match kernel {
+                Kernel::Jacobi => {
+                    let mut bufs = [seed_buf.clone(), seed_buf.clone()];
+                    run(&format!("{label}/spatial/t{th}"), Some(tflops), || {
+                        let [x, y] = black_box(&mut bufs);
+                        for s in 0..steps {
+                            let (src, dst) = if s % 2 == 0 {
+                                (&*x, &mut *y)
+                            } else {
+                                (&*y, &mut *x)
+                            };
+                            parallel::jacobi3d_sweep(dst, src, 1.0 / 6.0, t, th);
+                        }
+                    })
+                }
+                _ => {
+                    let mut a = seed_buf.clone();
+                    run(&format!("{label}/spatial/t{th}"), Some(tflops), || {
+                        for _ in 0..steps {
+                            parallel::redblack_sweep(black_box(&mut a), 0.4, 0.1, t, th);
+                        }
+                    })
+                }
+            };
+            let tiled = match kernel {
+                Kernel::Jacobi => {
+                    let mut bufs = [seed_buf.clone(), seed_buf.clone()];
+                    run(&format!("{label}/timetile/t{th}"), Some(tflops), || {
+                        timetile::jacobi_time_tiled(
+                            black_box(&mut bufs),
+                            1.0 / 6.0,
+                            steps,
+                            tile,
+                            th,
+                        );
+                    })
+                }
+                _ => {
+                    let mut a = seed_buf.clone();
+                    run(&format!("{label}/timetile/t{th}"), Some(tflops), || {
+                        timetile::redblack_time_tiled(black_box(&mut a), 0.4, 0.1, steps, tile, th);
+                    })
+                }
+            };
+            if let (Some(sp), Some(tt)) = (spatial.per_sec(), tiled.per_sec()) {
+                derived.push((format!("speedup_{label}_t{th}"), tt / sp));
+                derived.push((format!("gflops_{label}_spatial_t{th}"), sp / 1e9));
+                derived.push((format!("gflops_{label}_timetile_t{th}"), tt / 1e9));
+            }
+            results.extend([spatial, tiled]);
         }
     }
 

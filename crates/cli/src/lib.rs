@@ -6,17 +6,29 @@
 //! unit-testable without spawning processes; `main.rs` is a thin argv shim.
 //!
 //! ```text
-//! tiling3d plan        --stencil jacobi3d --dims 341x341 [--cache-kb 16]
+//! tiling3d plan        --stencil jacobi3d --dims 341x341 [--cache-kb 16] [--steps T --jobs N]
 //! tiling3d tiles       --di 200 --dj 200 [--cache 2048] [--tkmax 4]
-//! tiling3d advise      --stencil jacobi3d --n 300 [--cache-kb 16]
-//! tiling3d simulate    --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N]
+//! tiling3d advise      --stencil jacobi3d --n 300 [--cache-kb 16] [--steps T --jobs N]
+//! tiling3d simulate    --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N] [--steps T]
 //! tiling3d predict     --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
-//! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew]
+//! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew] [--temporal]
 //! tiling3d measure     --kernel redblack --n 192 [--nk 30] [--transform orig] [--reps 3] [--jobs N]
-//! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl]
+//! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl] [--steps T]
 //! tiling3d chaos       [--kernel jacobi] [--min 40 --max 56 --step 8 --nk 8] [--seed 42] [--faults 2] [--jobs N]
 //! tiling3d trace-check trace.jsonl [--schema schema.golden]
 //! ```
+//!
+//! `--steps T` (with `T > 0`) engages the **temporal mode** for iterated
+//! Jacobi / red-black: `plan` and `advise` pick a time-skewed `(ST, SK)`
+//! tile from cache geometry and pair it with the legality certificate of
+//! the skewed schedule; `simulate` replays the naive `T`-sweep trace and
+//! the time-tiled schedule through the same cache hierarchy and reports
+//! the cross-timestep L1 read-miss reduction; `profile` runs the
+//! wavefront-parallel time-tiled sweep so the span tree shows the
+//! per-wavefront / per-time-block phases. `analyze --temporal` certifies
+//! the time-skewed band schedule family — `--no-skew` requests the
+//! rectangular band tiling, the known-illegal family member, rejected
+//! with the broken distance vector as typed witness.
 //!
 //! Every command also accepts the auto-appended observability flags
 //! (`--log-level`, `--trace-out`, `--progress`, `--format`); `plan`,
@@ -75,12 +87,17 @@ use tiling3d_cachesim::{CacheConfig, Hierarchy};
 use tiling3d_core::legality::certificate_for;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
-use tiling3d_core::{plan, CacheSpec, Transform};
+use tiling3d_core::{
+    plan, plan_temporal, plan_temporal_certified, temporal_certificate, CacheSpec, TemporalKernel,
+    Transform,
+};
+use tiling3d_grid::{fill_random, Array3};
 use tiling3d_loopnest::{reuse, StencilShape};
 use tiling3d_obs as obs;
 use tiling3d_obs::flags::{FlagSet, FlagSpec, ParsedFlags};
 use tiling3d_obs::json::Json;
 use tiling3d_stencil::kernels::Kernel;
+use tiling3d_stencil::timetile::{self, TimeTile};
 
 // ---------------------------------------------------------------------------
 // Command table
@@ -208,6 +225,11 @@ const LINE_FLAG: FlagSpec = FlagSpec::usize("--line", Some("32"), "cache line si
 const NK_FLAG: FlagSpec = FlagSpec::usize("--nk", Some("30"), "third-dimension extent");
 const JOBS_FLAG: FlagSpec =
     FlagSpec::usize("--jobs", Some("0"), "simulation workers (0 = one per core)");
+const STEPS_FLAG: FlagSpec = FlagSpec::usize(
+    "--steps",
+    Some("0"),
+    "iterated time steps: engage the temporal (T, K) tiling mode",
+);
 
 fn stencil(flags: &ParsedFlags) -> Result<StencilShape, String> {
     flags.parse_str("--stencil")
@@ -219,6 +241,34 @@ fn kernel(flags: &ParsedFlags) -> Result<Kernel, String> {
 
 fn cache_spec(flags: &ParsedFlags) -> CacheSpec {
     CacheSpec::from_bytes(flags.usize("--cache-kb") * 1024)
+}
+
+/// The iterated-kernel counterpart of a runnable kernel, for the
+/// temporal (time-skewed) mode. RESID has no iterated in-place form.
+fn temporal_kernel(k: Kernel) -> Result<TemporalKernel, String> {
+    match k {
+        Kernel::Jacobi => Ok(TemporalKernel::Jacobi),
+        Kernel::RedBlack => Ok(TemporalKernel::RedBlack),
+        Kernel::Resid => {
+            Err("temporal mode supports jacobi and redblack only (resid is not iterated)".into())
+        }
+    }
+}
+
+/// The iterated-kernel counterpart of a stencil shape (`plan`/`advise`
+/// speak shapes, not kernels).
+fn temporal_kernel_of_shape(shape: &StencilShape) -> Result<TemporalKernel, String> {
+    let name = shape.name();
+    if name.starts_with("jacobi3d") {
+        Ok(TemporalKernel::Jacobi)
+    } else if name.starts_with("redblack") {
+        Ok(TemporalKernel::RedBlack)
+    } else {
+        Err(format!(
+            "--steps: no iterated form for stencil '{name}' \
+             (temporal mode supports jacobi3d and redblack)"
+        ))
+    }
 }
 
 /// The supervision-policy subset of [`SweepOptions::FLAGS`] (`--strict`,
@@ -261,6 +311,8 @@ fn plan_flags() -> FlagSet {
             STENCIL_FLAG,
             FlagSpec::pair("--dims", "array dimensions DIxDJ (required)"),
             CACHE_KB_FLAG,
+            STEPS_FLAG,
+            JOBS_FLAG,
         ],
     )
 }
@@ -269,10 +321,20 @@ fn cmd_plan(flags: &ParsedFlags) -> Result<String, String> {
     let shape = stencil(flags)?;
     let (di, dj) = flags.try_pair("--dims").ok_or("plan requires --dims AxB")?;
     let cache = cache_spec(flags);
+    let steps = flags.usize("--steps");
     let plans: Vec<_> = Transform::ALL
         .iter()
         .map(|&t| (t, plan(t, cache, di, dj, &shape)))
         .collect();
+    let temporal = if steps > 0 {
+        let tk = temporal_kernel_of_shape(&shape)?;
+        let jobs = SimPool::new(flags.usize("--jobs")).jobs();
+        let cp = plan_temporal_certified(tk, cache, di * dj, steps, jobs, true)
+            .map_err(|e| e.to_string())?;
+        Some((tk, jobs, cp))
+    } else {
+        None
+    };
     if json_format(flags)? {
         let rows = plans
             .iter()
@@ -293,13 +355,29 @@ fn cmd_plan(flags: &ParsedFlags) -> Result<String, String> {
                 ])
             })
             .collect();
-        let doc = Json::obj(vec![
+        let mut fields = vec![
             ("stencil", Json::str(shape.name())),
             ("di", Json::uint(di as u64)),
             ("dj", Json::uint(dj as u64)),
             ("cache_elements", Json::uint(cache.elements as u64)),
             ("plans", Json::Arr(rows)),
-        ]);
+        ];
+        if let Some((tk, jobs, cp)) = &temporal {
+            let p = cp.plan();
+            fields.push((
+                "temporal",
+                Json::obj(vec![
+                    ("kernel", Json::str(tk.name())),
+                    ("steps", Json::uint(steps as u64)),
+                    ("jobs", Json::uint(*jobs as u64)),
+                    ("st", Json::uint(p.st as u64)),
+                    ("sk", Json::uint(p.sk as u64)),
+                    ("working_planes", Json::uint(p.working_planes as u64)),
+                    ("legal", Json::Bool(cp.certificate().is_legal())),
+                ]),
+            ));
+        }
+        let doc = Json::obj(fields);
         return Ok(format!("{}\n", doc.render()));
     }
     let mut out = String::new();
@@ -329,6 +407,25 @@ fn cmd_plan(flags: &ParsedFlags) -> Result<String, String> {
             } else {
                 "-".into()
             },
+        );
+    }
+    if let Some((tk, jobs, cp)) = &temporal {
+        let p = cp.plan();
+        let ws_kb = p.working_elements(*tk, di * dj) * 8 / 1024;
+        let _ = writeln!(
+            out,
+            "\ntemporal plan: {} x {steps} steps, {jobs} job(s) -> time tile (ST, SK) = ({}, {})",
+            tk.name(),
+            p.st,
+            p.sk
+        );
+        let _ = writeln!(
+            out,
+            "  working set {} planes/buffer x {} buffer(s) = {ws_kb} KB; \
+             schedule '{}' certified legal",
+            p.working_planes,
+            tk.buffers(),
+            cp.certificate().schedule.name
         );
     }
     Ok(out)
@@ -399,6 +496,8 @@ fn advise_flags() -> FlagSet {
             STENCIL_FLAG,
             FlagSpec::usize("--n", None, "problem size N (required)"),
             CACHE_KB_FLAG,
+            STEPS_FLAG,
+            JOBS_FLAG,
         ],
     )
 }
@@ -411,6 +510,14 @@ fn cmd_advise(flags: &ParsedFlags) -> Result<String, String> {
     }
     let cache = cache_spec(flags);
     let json = json_format(flags)?;
+    let steps = flags.usize("--steps");
+    let temporal = if steps > 0 {
+        let tk = temporal_kernel_of_shape(&shape)?;
+        let jobs = SimPool::new(flags.usize("--jobs")).jobs();
+        Some((tk, jobs, plan_temporal(tk, cache, n * n, steps, jobs)))
+    } else {
+        None
+    };
     let mut out = String::new();
     if shape.atd() == 1 {
         let bound = reuse::max_column_extent_2d(cache.elements, &shape);
@@ -435,13 +542,27 @@ fn cmd_advise(flags: &ParsedFlags) -> Result<String, String> {
         let verdict = reuse::advise_3d(cache.elements, &shape, n);
         let dist = reuse::k_reuse_distance(&shape, n, n);
         if json {
-            let doc = Json::obj(vec![
+            let mut fields = vec![
                 ("stencil", Json::str(shape.name())),
                 ("n", Json::uint(n as u64)),
                 ("reuse_bound", Json::uint(bound as u64)),
                 ("verdict", Json::str(format!("{verdict:?}"))),
                 ("reuse_distance_elements", Json::uint(dist as u64)),
-            ]);
+            ];
+            if let Some((tk, jobs, p)) = &temporal {
+                fields.push((
+                    "temporal",
+                    Json::obj(vec![
+                        ("kernel", Json::str(tk.name())),
+                        ("steps", Json::uint(steps as u64)),
+                        ("jobs", Json::uint(*jobs as u64)),
+                        ("st", Json::uint(p.st as u64)),
+                        ("sk", Json::uint(p.sk as u64)),
+                        ("working_planes", Json::uint(p.working_planes as u64)),
+                    ]),
+                ));
+            }
+            let doc = Json::obj(fields);
             return Ok(format!("{}\n", doc.render()));
         }
         let _ = writeln!(
@@ -455,6 +576,17 @@ fn cmd_advise(flags: &ParsedFlags) -> Result<String, String> {
             "reuse distance across K at N = {n}: {dist} elements ({} KB)",
             dist * 8 / 1024
         );
+        if let Some((tk, jobs, p)) = &temporal {
+            let _ = writeln!(
+                out,
+                "temporal: {} x {steps} steps, {jobs} job(s) -> time tile (ST, SK) = ({}, {}) \
+                 ({} planes/buffer in cache)",
+                tk.name(),
+                p.st,
+                p.sk,
+                p.working_planes
+            );
+        }
     }
     Ok(out)
 }
@@ -476,6 +608,7 @@ fn simulate_flags() -> FlagSet {
             "transformation (orig|tile|euc3d|gcdpad|pad|gcdpadnt|all)",
         ),
         JOBS_FLAG,
+        STEPS_FLAG,
     ];
     flags.extend_from_slice(policy_flags());
     FlagSet::new(
@@ -497,6 +630,9 @@ fn cmd_simulate(flags: &ParsedFlags) -> Result<String, String> {
     let l1 = CacheConfig::direct_mapped(cache.elements * 8, flags.usize("--line"));
     l1.validate()
         .map_err(|e| format!("bad cache geometry: {e}"))?;
+    if flags.usize("--steps") > 0 {
+        return simulate_temporal(flags, kernel, n, nk, cache, l1);
+    }
     if flags.str("--transform").eq_ignore_ascii_case("all") {
         return simulate_all(flags, kernel, n, nk, cache, l1);
     }
@@ -600,6 +736,89 @@ fn simulate_all(
     Ok(out)
 }
 
+/// `simulate --steps T`: the temporal A/B. Replays the naive `T`-sweep
+/// trace and the time-skewed tile schedule (tile from [`plan_temporal`]
+/// on the same cache geometry, sequential band order) through identical
+/// cache hierarchies, and reports the cross-timestep reduction in L1
+/// read misses — the quantity time skewing exists to buy. The two Jacobi
+/// buffers are based half a cache apart so they do not map on top of
+/// each other in the direct-mapped L1.
+fn simulate_temporal(
+    flags: &ParsedFlags,
+    kernel: Kernel,
+    n: usize,
+    nk: usize,
+    cache: CacheSpec,
+    l1: CacheConfig,
+) -> Result<String, String> {
+    let steps = flags.usize("--steps");
+    let tk = temporal_kernel(kernel)?;
+    let tile = plan_temporal(tk, cache, n * n, steps, 1);
+    let tt = TimeTile {
+        st: tile.st,
+        sk: tile.sk,
+    };
+    let grid = Array3::<f64>::new(n, n, nk);
+    let bytes = (grid.as_slice().len() * 8) as u64;
+    let bases = [0u64, bytes + (cache.elements * 8 / 2) as u64];
+    let opts = SweepOptions::from_flags(flags)?;
+    let (naive, tiled) = supervise::supervise_item(&opts.policy, || {
+        let mut naive = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
+        let mut tiled = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
+        match tk {
+            TemporalKernel::Jacobi => {
+                timetile::trace_jacobi_steps(&grid, steps, bases, &mut naive);
+                timetile::trace_jacobi_time_tiled(&grid, steps, tt, bases, &mut tiled);
+            }
+            TemporalKernel::RedBlack => {
+                timetile::trace_redblack_steps(&grid, steps, 0, &mut naive);
+                timetile::trace_redblack_time_tiled(&grid, steps, tt, 0, &mut tiled);
+            }
+        }
+        sim_health(&naive)?;
+        sim_health(&tiled)?;
+        Ok((naive, tiled))
+    })
+    .map_err(|e| {
+        format!(
+            "simulate: temporal {} at N = {n} failed: {e}",
+            kernel.name()
+        )
+    })?;
+    let (nrm, trm) = (naive.l1_stats().read_misses, tiled.l1_stats().read_misses);
+    let reduction = if nrm > 0 {
+        (nrm as f64 - trm as f64) * 100.0 / nrm as f64
+    } else {
+        0.0
+    };
+    let mut out = format!(
+        "temporal simulate: {} {n}x{n}x{nk}, T = {steps}, time tile (ST, SK) = ({}, {})\n",
+        kernel.name(),
+        tt.st,
+        tt.sk
+    );
+    let _ = writeln!(
+        out,
+        "{:<18}{:>12}{:>16}{:>12}",
+        "schedule", "L1 miss %", "L1 read misses", "L2 miss %"
+    );
+    for (label, h) in [("naive x T", &naive), ("time-tiled", &tiled)] {
+        let _ = writeln!(
+            out,
+            "{:<18}{:>12.2}{:>16}{:>12.2}",
+            label,
+            h.l1_miss_rate_pct(),
+            h.l1_stats().read_misses,
+            h.l2_miss_rate_pct(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cross-timestep L1 read-miss reduction: {reduction:.1}% ({nrm} -> {trm})"
+    );
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // predict
 // ---------------------------------------------------------------------------
@@ -671,8 +890,55 @@ fn analyze_flags() -> FlagSet {
                 "--no-skew",
                 "request the unskewed fused red-black tiling (known illegal)",
             ),
+            FlagSpec::switch(
+                "--temporal",
+                "certify the time-skewed (T, K) band schedule family instead",
+            ),
         ],
     )
+}
+
+/// `analyze --temporal`: certify the time-skewed `(T, K)` band schedule
+/// family for the iterated kernel — the temporal counterpart of the
+/// spatial certificates. `--no-skew` requests the rectangular band
+/// tiling, the known-illegal family member, which is rejected with the
+/// broken time-stepped distance vector as typed witness (non-zero exit —
+/// the CI gate relies on this).
+fn analyze_temporal(flags: &ParsedFlags) -> Result<String, String> {
+    let tk = temporal_kernel(kernel(flags)?)?;
+    let skewed = !flags.switch("--no-skew");
+    let cert = temporal_certificate(tk, skewed);
+    if json_format(flags)? {
+        let doc = Json::obj(vec![
+            ("kernel", Json::str(tk.name())),
+            ("schedule", Json::str(cert.schedule.name.as_str())),
+            ("skewed", Json::Bool(skewed)),
+            ("legal", Json::Bool(cert.is_legal())),
+        ]);
+        let rendered = format!("{}\n", doc.render());
+        return if cert.is_legal() {
+            Ok(rendered)
+        } else {
+            Err(rendered)
+        };
+    }
+    let mut out = format!(
+        "temporal legality analysis: iterated {}, schedule '{}'\n\n",
+        tk.name(),
+        cert.schedule.name
+    );
+    out.push_str(&cert.report());
+    if cert.is_legal() {
+        let _ = writeln!(out, "\nthe time-skewed band tiling is legal");
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "\nILLEGAL temporal schedule for {} — refusing to certify",
+            tk.name()
+        );
+        Err(out)
+    }
 }
 
 /// `analyze`: the legality analyzer. For each requested transform, plans
@@ -682,6 +948,9 @@ fn analyze_flags() -> FlagSet {
 /// verdict. Any illegal schedule turns the whole invocation into an `Err`,
 /// so the process exits non-zero — the CI gate relies on this.
 fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
+    if flags.switch("--temporal") {
+        return analyze_temporal(flags);
+    }
     let kernel = kernel(flags)?;
     let n = flags.usize("--n");
     if n < 3 {
@@ -899,6 +1168,7 @@ fn profile_flags() -> FlagSet {
             FlagSpec::usize("--n", Some("64"), "problem size N"),
             NK_FLAG,
             JOBS_FLAG,
+            STEPS_FLAG,
         ],
     )
 }
@@ -908,14 +1178,22 @@ fn profile_flags() -> FlagSet {
 /// `compute:<KERNEL>` span (red-black shows its two colour half-sweep
 /// phases as children), then renders the span tree (per-phase wall-clock
 /// percentages, attached counters) and the metric registry.
-/// `--trace-out` additionally streams the JSONL events; `--jobs N` shows
-/// the per-worker `SimPool` spans.
+/// `--steps T` additionally runs the wavefront-parallel time-tiled sweep,
+/// whose `timetile:*` span nests a `wavefront` span per anti-diagonal and
+/// a `timeblock` span per tile. `--trace-out` additionally streams the
+/// JSONL events; `--jobs N` shows the per-worker `SimPool` spans.
 fn cmd_profile(flags: &ParsedFlags) -> Result<String, String> {
     let kernel = kernel(flags)?;
     let n = flags.usize("--n");
     if n < 3 {
         return Err("profile requires --n >= 3".into());
     }
+    let steps = flags.usize("--steps");
+    let tkern = if steps > 0 {
+        Some(temporal_kernel(kernel)?)
+    } else {
+        None
+    };
     let mut obs_cfg = obs::ObsConfig::from_flags(flags)?;
     obs_cfg.collect = true;
     obs::init(obs_cfg)?;
@@ -942,6 +1220,38 @@ fn cmd_profile(flags: &ParsedFlags) -> Result<String, String> {
         let p = tiling3d_bench::plan_for(&cfg, kernel, Transform::GcdPad, n);
         let mut state = kernel.make_state(n, cfg.nk, &p, 0x5EED);
         kernel.run_parallel(&mut state, p.tile, cfg.pool().jobs());
+    }
+
+    // Temporal mode: one wavefront-parallel time-tiled sweep. The tile
+    // targets the last-level cache (the reuse time skewing carries spans
+    // whole planes, not L1-sized tiles).
+    if let Some(tk) = tkern {
+        let jobs = cfg.pool().jobs();
+        let tile = plan_temporal(
+            tk,
+            CacheSpec::from_bytes(8 * 1024 * 1024),
+            n * n,
+            steps,
+            jobs,
+        );
+        let tt = TimeTile {
+            st: tile.st,
+            sk: tile.sk,
+        };
+        match tk {
+            TemporalKernel::Jacobi => {
+                let mut b0 = Array3::new(n, n, cfg.nk);
+                fill_random(&mut b0, 0x5EED);
+                let b1 = b0.clone();
+                let mut bufs = [b0, b1];
+                timetile::jacobi_time_tiled(&mut bufs, 1.0 / 6.0, steps, tt, jobs);
+            }
+            TemporalKernel::RedBlack => {
+                let mut a = Array3::new(n, n, cfg.nk);
+                fill_random(&mut a, 0x5EED);
+                timetile::redblack_time_tiled(&mut a, 0.4, 0.1, steps, tt, jobs);
+            }
+        }
     }
 
     let trace = obs::shutdown().ok_or("profile: no trace collected")?;
@@ -1461,6 +1771,90 @@ mod tests {
         assert!(out.contains("anti"), "{out}");
         assert!(out.contains("skew"), "schedule steps in:\n{out}");
         assert!(out.contains("LEGAL"), "{out}");
+    }
+
+    #[test]
+    fn plan_with_steps_adds_a_certified_temporal_tile() {
+        let out = run_line("plan --stencil jacobi3d --dims 341x341 --steps 8 --jobs 2").unwrap();
+        assert!(out.contains("temporal plan"), "{out}");
+        assert!(out.contains("certified legal"), "{out}");
+        let j = run_line("plan --stencil jacobi3d --dims 341x341 --steps 8 --jobs 2 --format json")
+            .unwrap();
+        let doc = obs::json::parse(&j).unwrap();
+        let t = doc.get("temporal").expect("temporal object");
+        assert!(matches!(t.get("legal"), Some(Json::Bool(true))), "{j}");
+        assert!(t.get("st").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(t.get("sk").and_then(Json::as_f64).unwrap() >= 1.0);
+        // Without --steps the plan output is unchanged (no temporal key).
+        let plain = run_line("plan --stencil jacobi3d --dims 341x341 --format json").unwrap();
+        assert!(obs::json::parse(&plain).unwrap().get("temporal").is_none());
+        // RESID has no iterated form.
+        let err = run_line("plan --stencil resid --dims 100x100 --steps 4").unwrap_err();
+        assert!(err.contains("no iterated form"), "{err}");
+    }
+
+    #[test]
+    fn advise_with_steps_reports_the_temporal_tile() {
+        let out = run_line("advise --stencil jacobi3d --n 33 --steps 8 --jobs 1").unwrap();
+        assert!(out.contains("time tile (ST, SK)"), "{out}");
+        let j =
+            run_line("advise --stencil jacobi3d --n 33 --steps 8 --jobs 1 --format json").unwrap();
+        let doc = obs::json::parse(&j).unwrap();
+        assert!(doc.get("temporal").is_some(), "{j}");
+        let err = run_line("advise --stencil jacobi2d --n 100 --steps 4").unwrap_err();
+        assert!(err.contains("no iterated form"), "{err}");
+    }
+
+    #[test]
+    fn simulate_steps_shows_cross_timestep_miss_reduction() {
+        // 16x16 planes, 2 buffers, 32 KB cache: the band holds several
+        // planes, while the full 16x16x32 grid busts the cache — so the
+        // naive T-sweep re-streams every step and time tiling must cut
+        // L1 read misses.
+        let out =
+            run_line("simulate --kernel jacobi --n 16 --nk 32 --steps 8 --cache-kb 32 --jobs 1")
+                .unwrap();
+        assert!(out.contains("time-tiled"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.contains("reduction"))
+            .unwrap_or_else(|| panic!("no reduction line in:\n{out}"));
+        let pct: f64 = line
+            .split(':')
+            .nth(1)
+            .and_then(|s| s.trim().split('%').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable reduction line: {line}"));
+        assert!(pct > 5.0, "expected a real reduction, got {pct}%:\n{out}");
+        // Red-black single-buffer variant renders too.
+        let rb =
+            run_line("simulate --kernel redblack --n 16 --nk 32 --steps 4 --cache-kb 32").unwrap();
+        assert!(rb.contains("time-tiled"), "{rb}");
+        let err = run_line("simulate --kernel resid --n 16 --steps 4").unwrap_err();
+        assert!(err.contains("temporal"), "{err}");
+    }
+
+    #[test]
+    fn analyze_temporal_certifies_and_rejects_rectangular_with_witness() {
+        for k in ["jacobi", "redblack"] {
+            let out = run_line(&format!("analyze --kernel {k} --temporal"))
+                .unwrap_or_else(|e| panic!("{k}: {e}"));
+            assert!(out.contains("legal"), "{out}");
+        }
+        let err = run_line("analyze --kernel jacobi --temporal --no-skew").unwrap_err();
+        assert!(err.contains("ILLEGAL"), "{err}");
+        // The witness: the flow distance (1, -1, ...) the rectangular
+        // band tile controllers reverse.
+        assert!(err.contains("[1, -1"), "witness missing:\n{err}");
+        let json =
+            run_line("analyze --kernel jacobi --temporal --no-skew --format json").unwrap_err();
+        let doc = obs::json::parse(&json).unwrap();
+        assert!(
+            matches!(doc.get("legal"), Some(Json::Bool(false))),
+            "{json}"
+        );
+        let err = run_line("analyze --kernel resid --temporal").unwrap_err();
+        assert!(err.contains("temporal"), "{err}");
     }
 
     #[test]

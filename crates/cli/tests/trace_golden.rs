@@ -126,6 +126,46 @@ fn profile_trace_is_valid_and_jobs_invariant() {
 }
 
 #[test]
+fn profile_steps_emits_the_timetile_span_tree() {
+    let _g = obs_lock();
+    let path = std::env::temp_dir().join(format!("t3d-timetile-{}.jsonl", std::process::id()));
+    // --jobs 2 forces the wavefront-parallel path; the sequential path
+    // runs time blocks inline and never opens a "wavefront" span.
+    let out = run(&[
+        "profile",
+        "--kernel",
+        "jacobi",
+        "--n",
+        "16",
+        "--nk",
+        "8",
+        "--steps",
+        "4",
+        "--jobs",
+        "2",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ])
+    .expect("profile --steps succeeds");
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+
+    for name in ["timetile:jacobi", "wavefront", "timeblock"] {
+        assert!(out.contains(name), "missing span '{name}' in:\n{out}");
+    }
+    let golden = parse_schema(GOLDEN_SCHEMA).expect("golden schema parses");
+    let report = check_trace_str(&trace, &golden);
+    assert!(report.is_ok(), "{}", report.summary());
+    // The wavefront spans nest under the temporal root, and the engine
+    // records its configured step count.
+    for name in ["timetile:jacobi", "wavefront", "timeblock"] {
+        assert!(report.span_names.contains(name), "{:?}", report.span_names);
+    }
+    // The engine annotates the root span with its configured step count.
+    assert!(out.contains("steps=4"), "{out}");
+}
+
+#[test]
 fn trace_check_accepts_a_fresh_profile_trace() {
     let _g = obs_lock();
     let path = std::env::temp_dir().join(format!("t3d-check-{}.jsonl", std::process::id()));

@@ -49,6 +49,7 @@ mod overhead;
 mod padsearch;
 mod plan;
 pub mod predict;
+pub mod temporal;
 pub mod tile2d;
 
 pub use cost::CostModel;
@@ -63,3 +64,7 @@ pub use nonconflict::ArrayTile;
 pub use overhead::{memory_overhead_pct, padded_elements};
 pub use padsearch::pad;
 pub use plan::{plan, CacheSpec, Transform, TransformPlan};
+pub use temporal::{
+    plan_temporal, plan_temporal_certified, temporal_certificate, CertifiedTemporalPlan,
+    IllegalTemporalPlan, TemporalKernel, TemporalPlan,
+};

@@ -151,6 +151,89 @@ impl DepSet {
                 .collect(),
         }
     }
+
+    /// A time-step loop around a ping-pong 3D stencil sweep: coordinates
+    /// `(T, K, J, I)`. Per read offset `o = (di, dj, dk)`:
+    ///
+    /// * a **flow** dependence `(1, -dk, -dj, -di)` — the neighbour value
+    ///   read at step `t` was written into the source buffer at step
+    ///   `t - 1`, at the offset position;
+    /// * an **anti** dependence `(1, dk, dj, di)` — the cell just read from
+    ///   the source buffer is the *destination* of step `t + 1` (the
+    ///   ping-pong pair flips), so its overwrite must stay after the read.
+    ///
+    /// For the symmetric face stencils the two sets coincide as sets of
+    /// vectors, but both kinds are recorded so a certificate names the
+    /// actual hazard it rules on.
+    pub fn time_stepped_3d(shape: &StencilShape) -> Self {
+        let mut deps = Vec::new();
+        for &(di, dj, dk) in shape.offsets() {
+            let (di, dj, dk) = (i64::from(di), i64::from(dj), i64::from(dk));
+            for d in [
+                Dep {
+                    distance: vec![1, -dk, -dj, -di],
+                    kind: DepKind::Flow,
+                },
+                Dep {
+                    distance: vec![1, dk, dj, di],
+                    kind: DepKind::Anti,
+                },
+            ] {
+                if !deps.contains(&d) {
+                    deps.push(d);
+                }
+            }
+        }
+        DepSet {
+            dims: vec!["T", "K", "J", "I"],
+            deps,
+        }
+    }
+
+    /// A time-step loop around the **in-place** red-black iteration, at
+    /// colour-pass granularity: coordinates `(T, K, J, I)` where `T` counts
+    /// *half steps* (pass `2t` updates red points, pass `2t + 1` black).
+    ///
+    /// Every neighbour of a point has the opposite colour and is updated in
+    /// passes of the opposite parity, so for each face offset
+    /// `o = (di, dj, dk)`:
+    ///
+    /// * **flow** `(1, -dk, -dj, -di)` — the neighbour value read in pass
+    ///   `p` was produced in pass `p - 1`;
+    /// * **flow** `(2, 0, 0, 0)` — the centre term `C1 * A(i,j,k)` reads the
+    ///   point's own value from its previous update, two passes earlier;
+    /// * **anti** `(1, dk, dj, di)` — the neighbour just read is rewritten
+    ///   in pass `p + 1`.
+    pub fn time_stepped_redblack() -> Self {
+        let mut deps = vec![Dep {
+            distance: vec![2, 0, 0, 0],
+            kind: DepKind::Flow,
+        }];
+        for &(di, dj, dk) in StencilShape::redblack3d().offsets() {
+            if (di, dj, dk) == (0, 0, 0) {
+                continue; // centre read is the (2, 0, 0, 0) self-dependence
+            }
+            let (di, dj, dk) = (i64::from(di), i64::from(dj), i64::from(dk));
+            for d in [
+                Dep {
+                    distance: vec![1, -dk, -dj, -di],
+                    kind: DepKind::Flow,
+                },
+                Dep {
+                    distance: vec![1, dk, dj, di],
+                    kind: DepKind::Anti,
+                },
+            ] {
+                if !deps.contains(&d) {
+                    deps.push(d);
+                }
+            }
+        }
+        DepSet {
+            dims: vec!["T", "K", "J", "I"],
+            deps,
+        }
+    }
 }
 
 /// One elementary reordering of the iteration space.
@@ -272,6 +355,38 @@ impl Schedule {
                 "rectangular (T, J) band tiling".into()
             },
             ndims: 3,
+            steps,
+        }
+    }
+
+    /// Time skewing of a 3D sweep's `(T, K, J, I)` nest: skew `K' = K + T`
+    /// and tile the `(T, K')` band, leaving the `(J, I)` plane loops
+    /// running in full inside each tile — the trapezoid schedule the
+    /// temporal-tiling engine executes (`stencil::timetile`).
+    ///
+    /// After the skew every time-step dependence has a non-negative `K'`
+    /// component (`-dk + 1 >= 0` for `|dk| <= 1`), so the band is fully
+    /// permutable: both tile-controller orders and the anti-diagonal
+    /// wavefront order are legal. With `skewed = false` the rectangular
+    /// `(T, K)` band tiling that the `(1, -1, ..)` flow dependences forbid —
+    /// the known-illegal variant the analyzer must reject with a witness.
+    pub fn time_skewed_3d(skewed: bool) -> Self {
+        let mut steps = Vec::new();
+        if skewed {
+            steps.push(ScheduleStep::Skew {
+                target: 1,
+                source: 0,
+                factor: 1,
+            });
+        }
+        steps.push(ScheduleStep::TileBand(vec![0, 1]));
+        Schedule {
+            name: if skewed {
+                "time-skewed (T, K') band tiling".into()
+            } else {
+                "rectangular (T, K) band tiling".into()
+            },
+            ndims: 4,
             steps,
         }
     }
@@ -574,6 +689,56 @@ mod tests {
         let deps = DepSet::time_stepped_2d(&StencilShape::jacobi2d());
         assert!(!certify(&deps, &Schedule::time_skewed(false)).is_legal());
         assert!(certify(&deps, &Schedule::time_skewed(true)).is_legal());
+    }
+
+    #[test]
+    fn time_skewing_legalises_the_3d_band_for_both_kernels() {
+        for deps in [
+            DepSet::time_stepped_3d(&StencilShape::jacobi3d()),
+            DepSet::time_stepped_redblack(),
+        ] {
+            // Rectangular (T, K) tiling must be rejected, witnessed by a
+            // plane-crossing flow dependence (1, -1, ..).
+            let cert = certify(&deps, &Schedule::time_skewed_3d(false));
+            assert!(!cert.is_legal());
+            let v = cert
+                .violations()
+                .iter()
+                .find(|v| v.dep.kind == DepKind::Flow && v.dep.distance[..2] == [1, -1])
+                .expect("a (1, -1, ..) flow witness");
+            assert!(!lex_positive(&v.time_vector));
+            // The skewed band is legal.
+            let cert = certify(&deps, &Schedule::time_skewed_3d(true));
+            assert!(cert.is_legal());
+            assert!(cert.revalidate().is_ok());
+        }
+    }
+
+    #[test]
+    fn skewed_3d_band_is_fully_permutable() {
+        // The wavefront engine runs skewed tiles on an anti-diagonal
+        // concurrently, which is legal iff the (T, K') band is fully
+        // permutable — i.e. the band stays legal under *either* controller
+        // order, not just the canonical (TT, KK') one.
+        let swapped = Schedule {
+            name: "time-skewed, band controllers swapped".into(),
+            ndims: 4,
+            steps: vec![
+                ScheduleStep::Skew {
+                    target: 1,
+                    source: 0,
+                    factor: 1,
+                },
+                ScheduleStep::TileBand(vec![1, 0]),
+            ],
+        };
+        for deps in [
+            DepSet::time_stepped_3d(&StencilShape::jacobi3d()),
+            DepSet::time_stepped_redblack(),
+        ] {
+            assert!(certify(&deps, &Schedule::time_skewed_3d(true)).is_legal());
+            assert!(certify(&deps, &swapped).is_legal());
+        }
     }
 
     #[test]

@@ -55,3 +55,4 @@ pub mod resid;
 pub mod rowexec;
 pub mod timeskew;
 pub mod timestep;
+pub mod timetile;

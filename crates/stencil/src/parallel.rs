@@ -12,9 +12,11 @@
 //! **colour barrier**: all red points (globally) before any black point.
 //! Within one colour pass every read is either an opposite-colour
 //! neighbour (untouched during the pass) or the point's own pre-write
-//! centre value, so the K-slab split stays race-free once each slab gets a
-//! pre-pass snapshot of its two boundary planes (see [`redblack_sweep`]
-//! and DESIGN.md §12 for the full argument).
+//! centre value, so the K-slab split stays race-free once each *interface*
+//! between adjacent slabs gets a pre-pass snapshot; the outermost planes
+//! are never written and are read live, and a single-slab partition runs
+//! inline with no snapshots or spawns at all (see [`redblack_sweep`] and
+//! DESIGN.md §12 for the full argument).
 //!
 //! Each thread runs the *tiled* schedule inside its slab on the row-segment
 //! engine ([`crate::rowexec`]), so per-thread cache behaviour and inner-loop
@@ -219,16 +221,21 @@ pub fn resid_sweep(
 /// Race-freedom and bitwise determinism: within one colour pass every
 /// stencil read is an opposite-colour point (no same-colour point is a
 /// neighbour of another — all six neighbours flip parity) except the
-/// centre, which the row engine reads into scratch before scattering. The
-/// only cross-slab reads are the `K±1` planes at slab boundaries; those
-/// positions are opposite-colour, so a pre-pass snapshot of the two
-/// boundary planes equals their live value for the whole pass. Hence the
-/// result is bitwise identical to `redblack::sweep` with
-/// `Schedule::Naive` (= every sequential schedule) for every thread count.
+/// centre, which the row engine reads into scratch before scattering, so
+/// any update order within a colour yields bitwise-identical results.
+/// The only cross-slab reads are the `K±1` planes at slab boundaries;
+/// those positions are opposite-colour, so a pre-pass snapshot of each
+/// *interface* plane (reused buffers, refreshed per pass) equals its live
+/// value for the whole pass. The outermost planes `0` and `nk-1` are
+/// never written, so the first slab's down plane and the last slab's up
+/// plane are read live, zero-copy. Hence the result is bitwise identical
+/// to `redblack::sweep` with `Schedule::Naive` (= every sequential
+/// schedule) for every thread count. A single-chunk partition skips the
+/// snapshots and the spawns entirely and runs the pass inline.
 ///
-/// When observability collection is on, the two phases run under fixed
-/// `redblack:red` / `redblack:black` spans opened on the coordinating
-/// thread. Degenerate grids are a no-op.
+/// When observability collection is on, the two colour passes run under
+/// fixed `redblack:red` / `redblack:black` spans opened on the
+/// coordinating thread. Degenerate grids are a no-op.
 ///
 /// # Panics
 /// Panics unless the `I`/`J` logical extents are equal, or if
@@ -250,31 +257,60 @@ pub fn redblack_sweep(
     }
     let av = a.as_mut_slice();
 
+    // Interface halo buffers, allocated once and reused across both
+    // colour passes: `lo_halos[c]` snapshots the plane below chunk `c`
+    // (owned by chunk `c-1`), `hi_halos[c]` the plane above it.
+    let mut lo_halos: Vec<Vec<f64>> = chunks.iter().map(|_| Vec::new()).collect();
+    let mut hi_halos: Vec<Vec<f64>> = chunks.iter().map(|_| Vec::new()).collect();
+
     for parity in 0..2usize {
         let _pass = tiling3d_obs::span(if parity == 0 {
             "redblack:red"
         } else {
             "redblack:black"
         });
-        // Pre-pass snapshots of each slab's two boundary planes. Every
-        // position read from them is opposite-colour, so the snapshot
-        // equals the live value throughout this pass.
-        let halos: Vec<(Vec<f64>, Vec<f64>)> = chunks
-            .iter()
-            .map(|&(k0, k1)| {
-                (
-                    av[(k0 - 1) * ps..k0 * ps].to_vec(),
-                    av[(k1 + 1) * ps..(k1 + 2) * ps].to_vec(),
-                )
-            })
-            .collect();
-        let slabs = split_slabs(&mut av[..], &chunks, ps);
+        if chunks.len() == 1 {
+            let (k0, k1) = chunks[0];
+            color_pass_seq(av, k0, k1, n, di, ps, c1, c2, parity, tile);
+            continue;
+        }
+        // Refresh the interface halos (planes shared between adjacent
+        // chunks) for this pass. The outermost planes 0 and nk-1 are
+        // never written, so the first chunk's down plane and the last
+        // chunk's up plane are read live, zero-copy.
+        for c in 0..chunks.len() {
+            if c > 0 {
+                let k = chunks[c].0 - 1;
+                lo_halos[c].clear();
+                lo_halos[c].extend_from_slice(&av[k * ps..(k + 1) * ps]);
+            }
+            if c + 1 < chunks.len() {
+                let k = chunks[c].1 + 1;
+                hi_halos[c].clear();
+                hi_halos[c].extend_from_slice(&av[k * ps..(k + 1) * ps]);
+            }
+        }
+        let (head, rest) = av.split_at_mut(ps);
+        let (interior, tail) = rest.split_at_mut((nk - 2) * ps);
+        let head: &[f64] = head;
+        let tail: &[f64] = tail;
+        let mut rest = interior;
+        let mut slabs = Vec::with_capacity(chunks.len());
+        for &(k0, k1) in &chunks {
+            let (slab, more) = rest.split_at_mut((k1 - k0 + 1) * ps);
+            rest = more;
+            slabs.push((k0, k1, slab));
+        }
         thread::scope(|scope| {
-            for ((k0, k1, slab), (lo_halo, hi_halo)) in slabs.into_iter().zip(halos) {
+            for (c, (k0, k1, slab)) in slabs.into_iter().enumerate() {
+                let down: &[f64] = if c == 0 { head } else { &lo_halos[c] };
+                let up: &[f64] = if c + 1 == chunks.len() {
+                    tail
+                } else {
+                    &hi_halos[c]
+                };
                 scope.spawn(move || {
-                    color_pass(
-                        slab, &lo_halo, &hi_halo, k0, k1, n, di, ps, c1, c2, parity, tile,
-                    );
+                    color_pass(slab, down, up, k0, k1, n, di, ps, c1, c2, parity, tile);
                 });
             }
         });
@@ -285,12 +321,15 @@ pub fn redblack_sweep(
     );
 }
 
-/// One colour pass over one K-slab (planes `k0..=k1`, slab-local storage).
+/// One colour pass over one K-slab (planes `k0..=k1`, slab-local
+/// storage). `down` / `up` are full planes: the live outermost plane or
+/// an interface-halo snapshot; they are only consulted for `k == k0` /
+/// `k == k1` rows — interior `K±1` reads stay inside the slab.
 #[allow(clippy::too_many_arguments)]
 fn color_pass(
     slab: &mut [f64],
-    lo_halo: &[f64],
-    hi_halo: &[f64],
+    down: &[f64],
+    up: &[f64],
     k0: usize,
     k1: usize,
     n: usize,
@@ -307,15 +346,15 @@ fn color_pass(
         let m = (i1 - i0) / 2 + 1;
         {
             let src: &[f64] = slab;
-            let down: &[f64] = if k > k0 {
+            let d: &[f64] = if k > k0 {
                 &src[lo - ps..]
             } else {
-                &lo_halo[j * di + i0..]
+                &down[j * di + i0..]
             };
-            let up: &[f64] = if k < k1 {
+            let u: &[f64] = if k < k1 {
                 &src[lo + ps..]
             } else {
-                &hi_halo[j * di + i0..]
+                &up[j * di + i0..]
             };
             rowexec::redblack_row(
                 &mut scratch[..m],
@@ -324,8 +363,8 @@ fn color_pass(
                 &src[lo - di..],
                 &src[lo + 1..],
                 &src[lo + di..],
-                down,
-                up,
+                d,
+                u,
                 c1,
                 c2,
             );
@@ -347,6 +386,77 @@ fn color_pass(
             // JJ/II tiles inside the slab; any order within a colour is
             // bitwise-equivalent (all reads are opposite-colour or
             // pre-write centre).
+            let hi = n - 2;
+            let mut jj = 1usize;
+            while jj <= hi {
+                let j_hi = (jj + t.tj - 1).min(hi);
+                let mut ii = 1usize;
+                while ii <= hi {
+                    let i_hi = (ii + t.ti - 1).min(hi);
+                    for k in k0..=k1 {
+                        for j in jj..=j_hi {
+                            let i0 = 1 + (k + j + parity) % 2;
+                            if let Some(first) = stride2_clip(i0, ii, i_hi) {
+                                do_row(first, stride2_last(first, i_hi), j, k);
+                            }
+                        }
+                    }
+                    ii += t.ti;
+                }
+                jj += t.tj;
+            }
+        }
+    }
+}
+
+/// One colour pass over the whole interior on the calling thread: no
+/// spawns, no phase split, `K±1` reads straight from the live array.
+#[allow(clippy::too_many_arguments)]
+fn color_pass_seq(
+    av: &mut [f64],
+    k0: usize,
+    k1: usize,
+    n: usize,
+    di: usize,
+    ps: usize,
+    c1: f64,
+    c2: f64,
+    parity: usize,
+    tile: Option<TileDims>,
+) {
+    let mut scratch = vec![0.0f64; n / 2 + 1];
+    let mut do_row = |i0: usize, i1: usize, j: usize, k: usize| {
+        let lo = j * di + k * ps + i0;
+        let m = (i1 - i0) / 2 + 1;
+        {
+            let src: &[f64] = av;
+            rowexec::redblack_row(
+                &mut scratch[..m],
+                &src[lo..],
+                &src[lo - 1..],
+                &src[lo - di..],
+                &src[lo + 1..],
+                &src[lo + di..],
+                &src[lo - ps..],
+                &src[lo + ps..],
+                c1,
+                c2,
+            );
+        }
+        rowexec::scatter_stride2(&mut av[lo..], &scratch[..m]);
+    };
+    match tile {
+        None => {
+            for k in k0..=k1 {
+                for j in 1..=n - 2 {
+                    let i0 = 1 + (k + j + parity) % 2;
+                    if i0 <= n - 2 {
+                        do_row(i0, stride2_last(i0, n - 2), j, k);
+                    }
+                }
+            }
+        }
+        Some(t) => {
             let hi = n - 2;
             let mut jj = 1usize;
             while jj <= hi {

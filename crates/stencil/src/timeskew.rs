@@ -21,9 +21,120 @@
 //! Ping-pong buffering: time step `t` reads buffer `t % 2` and writes
 //! buffer `(t+1) % 2`; the skewed schedule's write-after-read hazards are
 //! covered by the same non-negative distances.
+//!
+//! The skewed iteration structure itself — block the `(T, B')` band after
+//! the skew `b' = b + t`, then walk each block's valid points — is shared
+//! infrastructure: [`skewed_blocks`] / [`for_each_skewed`] drive the
+//! compute and trace forms here *and* the 3D temporal-tiling engine in
+//! [`crate::timetile`], whose wavefront scheduler groups the same blocks
+//! by anti-diagonal ([`SkewedBlock::wavefront`]).
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array2;
+
+/// One tile of a skewed `(T, B')` band: time steps `t0..=t1` of the block,
+/// skewed band indices `b0..=b1` (`b' = b + t`), plus the block's position
+/// in the tile grid — the coordinates wavefront scheduling works in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkewedBlock {
+    /// First time step of the block.
+    pub t0: usize,
+    /// Last time step of the block (inclusive).
+    pub t1: usize,
+    /// First skewed band index of the block.
+    pub b0: usize,
+    /// Last skewed band index of the block (inclusive).
+    pub b1: usize,
+    /// Time-block index (`t0 / st`).
+    pub tt: usize,
+    /// Skewed-band-block index.
+    pub bb: usize,
+}
+
+impl SkewedBlock {
+    /// Visits the block's valid points in execution order — `t` ascending,
+    /// then `b' = b + t` ascending — calling `f(t, b)` with the *unskewed*
+    /// band index `b` clipped to `lo..=hi`.
+    pub fn for_each(&self, lo: usize, hi: usize, mut f: impl FnMut(usize, usize)) {
+        for t in self.t0..=self.t1 {
+            for bp in self.b0..=self.b1 {
+                // b = b' - t; only indices inside the band compute.
+                if bp < t + lo {
+                    continue;
+                }
+                let b = bp - t;
+                if b > hi {
+                    continue;
+                }
+                f(t, b);
+            }
+        }
+    }
+
+    /// Anti-diagonal index in the `(TT, BB)` tile grid. After the skew
+    /// every dependence distance is component-wise non-negative over
+    /// `(T, B')`, so blocks sharing a wavefront index carry no dependence
+    /// between them — they may run concurrently.
+    pub fn wavefront(&self) -> usize {
+        self.tt + self.bb
+    }
+}
+
+/// Enumerates the blocks of the skewed `(T, B')` band for `steps` time
+/// steps over the unskewed band `lo..=hi` (skew `b' = b + t`), with time
+/// blocks of `st` and skewed-band blocks of `sb`, in sequential execution
+/// order: band blocks outer, time blocks inner — each band of skewed
+/// columns is carried through all its time steps before moving on, which
+/// is the cross-timestep reuse the schedule exists for.
+///
+/// # Panics
+/// Panics if `st` or `sb` is zero.
+pub fn skewed_blocks(steps: usize, lo: usize, hi: usize, st: usize, sb: usize) -> Vec<SkewedBlock> {
+    assert!(st > 0 && sb > 0, "tile extents must be nonzero");
+    let mut out = Vec::new();
+    if steps == 0 || hi < lo {
+        return out;
+    }
+    let bp_max = hi + steps - 1;
+    let (mut bb, mut b0) = (0usize, lo);
+    while b0 <= bp_max {
+        let b1 = (b0 + sb - 1).min(bp_max);
+        let (mut tt, mut t0) = (0usize, 0usize);
+        while t0 < steps {
+            let t1 = (t0 + st - 1).min(steps - 1);
+            out.push(SkewedBlock {
+                t0,
+                t1,
+                b0,
+                b1,
+                tt,
+                bb,
+            });
+            t0 += st;
+            tt += 1;
+        }
+        b0 += sb;
+        bb += 1;
+    }
+    out
+}
+
+/// Walks every valid `(t, b)` point of the skewed schedule in execution
+/// order — the one iteration structure [`run_time_skewed`],
+/// [`trace_time_skewed`] and the 3D temporal engine
+/// ([`crate::timetile`]) all consume.
+pub fn for_each_skewed(
+    steps: usize,
+    lo: usize,
+    hi: usize,
+    st: usize,
+    sb: usize,
+    mut f: impl FnMut(usize, usize),
+) {
+    for block in skewed_blocks(steps, lo, hi, st, sb) {
+        block.for_each(lo, hi, &mut f);
+    }
+}
 
 /// Runs `steps` Jacobi time steps naively (full sweep per step, ping-pong
 /// buffers). Returns nothing; the final state lives in `bufs[steps % 2]`.
@@ -50,46 +161,19 @@ pub fn run_naive(bufs: &mut [Array2<f64>; 2], c: f64, steps: usize) {
 /// # Panics
 /// Panics if `st` or `sj` is zero or the two buffers differ in shape.
 pub fn run_time_skewed(bufs: &mut [Array2<f64>; 2], c: f64, steps: usize, st: usize, sj: usize) {
-    assert!(st > 0 && sj > 0);
     let n = bufs[0].ni();
     assert_eq!(bufs[0].nj(), n);
     assert_eq!(bufs[0].di(), bufs[1].di());
-    let j_hi = n - 2;
-    if steps == 0 {
-        return;
-    }
-    // j' = j + t ranges over [1, j_hi + steps - 1].
-    let jp_max = j_hi + steps - 1;
-    let mut jj = 1usize;
-    while jj <= jp_max {
-        let jj_end = (jj + sj - 1).min(jp_max);
-        let mut tt = 0usize;
-        while tt < steps {
-            let tt_end = (tt + st - 1).min(steps - 1);
-            for t in tt..=tt_end {
-                // Split borrows for this parity.
-                let (src, dst) = split(bufs, t);
-                let di = src.di();
-                let (sv, dv) = (src.as_slice(), dst.as_mut_slice());
-                for jp in jj..=jj_end {
-                    // j = j' - t; only rows inside the interior compute.
-                    if jp < t + 1 {
-                        continue;
-                    }
-                    let j = jp - t;
-                    if j > j_hi {
-                        continue;
-                    }
-                    for i in 1..=n - 2 {
-                        let idx = i + j * di;
-                        dv[idx] = c * (sv[idx - 1] + sv[idx + 1] + sv[idx - di] + sv[idx + di]);
-                    }
-                }
-            }
-            tt += st;
+    for_each_skewed(steps, 1, n - 2, st, sj, |t, j| {
+        // Split borrows for this step's parity.
+        let (src, dst) = split(bufs, t);
+        let di = src.di();
+        let (sv, dv) = (src.as_slice(), dst.as_mut_slice());
+        for i in 1..=n - 2 {
+            let idx = i + j * di;
+            dv[idx] = c * (sv[idx - 1] + sv[idx + 1] + sv[idx - di] + sv[idx + di]);
         }
-        jj += sj;
-    }
+    });
 }
 
 /// Borrows the ping-pong pair as `(source of step t, destination)`.
@@ -141,47 +225,22 @@ pub fn trace_time_skewed<S: AccessSink>(
     bases: [u64; 2],
     sink: &mut S,
 ) {
-    assert!(st > 0 && sj > 0);
-    let j_hi = n - 2;
-    if steps == 0 {
-        return;
-    }
-    let jp_max = j_hi + steps - 1;
-    let mut jj = 1usize;
-    while jj <= jp_max {
-        let jj_end = (jj + sj - 1).min(jp_max);
-        let mut tt = 0usize;
-        while tt < steps {
-            let tt_end = (tt + st - 1).min(steps - 1);
-            for t in tt..=tt_end {
-                let (src, dst) = if t % 2 == 0 {
-                    (bases[0], bases[1])
-                } else {
-                    (bases[1], bases[0])
-                };
-                for jp in jj..=jj_end {
-                    if jp < t + 1 {
-                        continue;
-                    }
-                    let j = jp - t;
-                    if j > j_hi {
-                        continue;
-                    }
-                    for i in 1..=n - 2 {
-                        let idx = (i + j * di) as i64;
-                        let at = |base: u64, off: i64| base + ((idx + off) * 8) as u64;
-                        sink.read(at(src, -1));
-                        sink.read(at(src, 1));
-                        sink.read(at(src, -(di as i64)));
-                        sink.read(at(src, di as i64));
-                        sink.write(at(dst, 0));
-                    }
-                }
-            }
-            tt += st;
+    for_each_skewed(steps, 1, n - 2, st, sj, |t, j| {
+        let (src, dst) = if t % 2 == 0 {
+            (bases[0], bases[1])
+        } else {
+            (bases[1], bases[0])
+        };
+        for i in 1..=n - 2 {
+            let idx = (i + j * di) as i64;
+            let at = |base: u64, off: i64| base + ((idx + off) * 8) as u64;
+            sink.read(at(src, -1));
+            sink.read(at(src, 1));
+            sink.read(at(src, -(di as i64)));
+            sink.read(at(src, di as i64));
+            sink.write(at(dst, 0));
         }
-        jj += sj;
-    }
+    });
 }
 
 #[cfg(test)]
@@ -266,6 +325,44 @@ mod tests {
             skewed_conflicting > skewed_padded * 2,
             "without inter-variable padding the skewed bands should thrash:              {skewed_conflicting} vs {skewed_padded}"
         );
+    }
+
+    #[test]
+    fn skewed_blocks_cover_every_point_exactly_once() {
+        for &(steps, lo, hi, st, sb) in &[
+            (5usize, 1usize, 9usize, 2usize, 3usize),
+            (1, 1, 6, 4, 4),
+            (7, 2, 4, 3, 1),
+            (4, 1, 12, 100, 100),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for_each_skewed(steps, lo, hi, st, sb, |t, b| {
+                assert!(seen.insert((t, b)), "duplicate ({t},{b})");
+                assert!((lo..=hi).contains(&b));
+                assert!(t < steps);
+            });
+            assert_eq!(seen.len(), steps * (hi - lo + 1));
+        }
+    }
+
+    #[test]
+    fn wavefront_blocks_are_dependence_free() {
+        // Two blocks on one anti-diagonal must not contain points related
+        // by any skewed dependence direction (dt, db') in {1} x {0, 1, 2}
+        // or {2} x {2} — the component-wise non-negative distance cone the
+        // 3D engine's concurrency argument rests on.
+        let blocks = skewed_blocks(6, 1, 10, 2, 3);
+        for a in &blocks {
+            for b in &blocks {
+                if a == b || a.wavefront() != b.wavefront() {
+                    continue;
+                }
+                // Component-wise ordered distinct blocks would admit a
+                // forward dependence; same-wavefront blocks never are.
+                let ordered = (a.t0 <= b.t0 && a.b0 <= b.b0) || (b.t0 <= a.t0 && b.b0 <= a.b0);
+                assert!(!ordered, "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

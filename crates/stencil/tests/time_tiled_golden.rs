@@ -1,0 +1,151 @@
+//! The temporal golden gate: time-tiled 3D Jacobi and red-black must be
+//! **bitwise identical** to `stencil::reference` iterated `T` steps, for
+//! any tile shape and any thread count — the acceptance criterion of the
+//! temporal-tiling subsystem. Grids include padded allocations; tiles
+//! include degenerate (1,1), oversize, and band-straddling shapes; jobs
+//! cover {1, 2, 7} so both the sequential band-major order and the
+//! wavefront-parallel order (with thread counts that do and do not
+//! divide the wave width) are exercised.
+
+use tiling3d_grid::{fill_random, Array3};
+use tiling3d_stencil::timetile::{
+    jacobi_steps_reference, jacobi_time_tiled, redblack_steps_reference, redblack_time_tiled,
+    TimeTile,
+};
+
+const JOBS: [usize; 3] = [1, 2, 7];
+
+const TILES: [(usize, usize); 5] = [
+    (1, 1),     // fully degenerate: every point its own tile
+    (2, 3),     // small blocks, several wavefronts
+    (3, 2),     // time-heavy blocks
+    (100, 100), // oversize: one tile per skewed band sweep
+    (1, 100),   // band-straddling: spatial sweeps in skewed order
+];
+
+fn jacobi_bufs(
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    di: usize,
+    dj: usize,
+    seed: u64,
+) -> [Array3<f64>; 2] {
+    let mut b0 = Array3::with_padding(ni, nj, nk, di, dj);
+    fill_random(&mut b0, seed);
+    let b1 = b0.clone(); // ping-pong boundaries must agree
+    [b0, b1]
+}
+
+#[test]
+fn jacobi_time_tiled_is_bitwise_reference_for_all_tiles_and_jobs() {
+    // (ni, nj, nk, di, dj): tight and padded allocations.
+    let grids = [(12, 10, 9, 12, 10), (9, 9, 14, 16, 11), (7, 13, 8, 8, 13)];
+    for &(ni, nj, nk, di, dj) in &grids {
+        for steps in [1usize, 2, 5, 8] {
+            let mut want = jacobi_bufs(ni, nj, nk, di, dj, 1234);
+            jacobi_steps_reference(&mut want, 0.19, steps);
+            let fin = steps % 2;
+            for (st, sk) in TILES {
+                for jobs in JOBS {
+                    let mut got = jacobi_bufs(ni, nj, nk, di, dj, 1234);
+                    jacobi_time_tiled(&mut got, 0.19, steps, TimeTile { st, sk }, jobs);
+                    assert!(
+                        want[fin].logical_eq(&got[fin]),
+                        "jacobi {ni}x{nj}x{nk} (alloc {di}x{dj}) steps={steps} \
+                         tile=({st},{sk}) jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn redblack_time_tiled_is_bitwise_reference_for_all_tiles_and_jobs() {
+    // Red-black needs square I/J; exercise tight and padded allocations.
+    let grids = [(11, 11, 9, 11, 11), (9, 9, 12, 14, 10)];
+    for &(ni, nj, nk, di, dj) in &grids {
+        for steps in [1usize, 2, 5, 8] {
+            let mut want = Array3::with_padding(ni, nj, nk, di, dj);
+            fill_random(&mut want, 987);
+            let src = want.clone();
+            redblack_steps_reference(&mut want, 0.4, 0.1, steps);
+            for (st, sk) in TILES {
+                for jobs in JOBS {
+                    let mut got = src.clone();
+                    redblack_time_tiled(&mut got, 0.4, 0.1, steps, TimeTile { st, sk }, jobs);
+                    assert!(
+                        want.logical_eq(&got),
+                        "redblack {ni}x{nj}x{nk} (alloc {di}x{dj}) steps={steps} \
+                         tile=({st},{sk}) jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn one_step_reduces_to_the_spatial_sweep_bit_for_bit() {
+    // T=1: the temporal schedule must degenerate to exactly one spatial
+    // sweep — same result as reference::jacobi3d / reference::redblack
+    // applied once, whatever the tile shape or thread count.
+    let bufs = jacobi_bufs(13, 11, 10, 13, 11, 55);
+    let mut spatial = jacobi_bufs(13, 11, 10, 13, 11, 55);
+    {
+        let (src, dst) = {
+            let (a, b) = spatial.split_at_mut(1);
+            (&a[0], &mut b[0])
+        };
+        tiling3d_stencil::reference::jacobi3d(dst, src, 0.21, None);
+    }
+    for jobs in JOBS {
+        let mut got = [bufs[0].clone(), bufs[1].clone()];
+        jacobi_time_tiled(&mut got, 0.21, 1, TimeTile { st: 4, sk: 3 }, jobs);
+        assert!(spatial[1].logical_eq(&got[1]), "jacobi T=1 jobs={jobs}");
+    }
+
+    let mut rb = Array3::with_padding(10, 10, 9, 12, 10);
+    fill_random(&mut rb, 66);
+    let src = rb.clone();
+    tiling3d_stencil::reference::redblack(
+        &mut rb,
+        0.4,
+        0.1,
+        tiling3d_stencil::redblack::Schedule::Naive,
+    );
+    for jobs in JOBS {
+        let mut got = src.clone();
+        redblack_time_tiled(&mut got, 0.4, 0.1, 1, TimeTile { st: 2, sk: 5 }, jobs);
+        assert!(rb.logical_eq(&got), "redblack T=1 jobs={jobs}");
+    }
+}
+
+#[test]
+fn degenerate_and_minimal_bands_survive_every_job_count() {
+    // nk < 3: no interior, nothing may change. nk == 3: a single-plane
+    // band, the narrowest wavefront possible.
+    for nk in [1usize, 2, 3] {
+        for jobs in JOBS {
+            let mut bufs = jacobi_bufs(8, 9, nk, 10, 9, 31);
+            let mut want = jacobi_bufs(8, 9, nk, 10, 9, 31);
+            jacobi_steps_reference(&mut want, 0.23, 4);
+            jacobi_time_tiled(&mut bufs, 0.23, 4, TimeTile { st: 2, sk: 2 }, jobs);
+            // steps = 4 lands the result in bufs[4 % 2] = bufs[0]; for
+            // nk < 3 both engines are a no-op and bufs[0] is untouched.
+            let fin = 0;
+            assert!(
+                want[fin].logical_eq(&bufs[fin]),
+                "jacobi nk={nk} jobs={jobs}"
+            );
+
+            let mut rb = Array3::new(9, 9, nk);
+            fill_random(&mut rb, 41);
+            let mut rb_want = rb.clone();
+            redblack_steps_reference(&mut rb_want, 0.4, 0.1, 3);
+            redblack_time_tiled(&mut rb, 0.4, 0.1, 3, TimeTile { st: 1, sk: 1 }, jobs);
+            assert!(rb_want.logical_eq(&rb), "redblack nk={nk} jobs={jobs}");
+        }
+    }
+}
