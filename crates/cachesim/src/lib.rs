@@ -40,6 +40,7 @@
 mod cache;
 mod config;
 mod hierarchy;
+mod mmu;
 mod sinks;
 mod stats;
 mod threec;
@@ -48,6 +49,7 @@ mod tlb;
 pub use cache::Cache;
 pub use config::{CacheConfig, ReplacementPolicy, WritePolicy};
 pub use hierarchy::{simulate_ultrasparc2, Hierarchy};
+pub use mmu::{MmuHierarchy, PAGE_TABLE_BASE};
 pub use sinks::{AccessSink, CountingSink, DistinctLineCounter, TeeSink};
 pub use stats::{AccessStats, Throughput, ThroughputTimer};
 pub use threec::ThreeC;

@@ -144,7 +144,6 @@ pub struct ThroughputTimer(Instant);
 
 impl ThroughputTimer {
     /// Starts timing.
-    #[allow(clippy::new_without_default)]
     pub fn start() -> Self {
         ThroughputTimer(Instant::now())
     }

@@ -9,9 +9,10 @@
 //! tiling3d plan        --stencil jacobi3d --dims 341x341 [--cache-kb 16] [--steps T --jobs N]
 //! tiling3d tiles       --di 200 --dj 200 [--cache 2048] [--tkmax 4]
 //! tiling3d advise      --stencil jacobi3d --n 300 [--cache-kb 16] [--steps T --jobs N]
-//! tiling3d simulate    --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N] [--steps T]
+//! tiling3d simulate    --kernel resid --n 341 [--nk 30] [--transform gcdpad|all] [--jobs N] [--steps T] [--tlb]
 //! tiling3d predict     --kernel jacobi --n 280 [--nk 30] [--tile 30x14]
-//! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew] [--temporal]
+//! tiling3d analyze     --kernel redblack [--transform gcdpad|all] [--n 200] [--no-skew] [--temporal] [--locality]
+//! tiling3d oracle      --kernel jacobi --n 120 [--nk 20] [--transform all] [--geometry us2|modern|fa]
 //! tiling3d measure     --kernel redblack --n 192 [--nk 30] [--transform orig] [--reps 3] [--jobs N]
 //! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl] [--steps T]
 //! tiling3d chaos       [--kernel jacobi] [--min 40 --max 56 --step 8 --nk 8] [--seed 42] [--faults 2] [--jobs N]
@@ -57,7 +58,20 @@
 //! non-zero if any analyzed schedule is illegal — `--no-skew` requests the
 //! rectangular (unskewed) tiling of the fused red-black schedule, the
 //! known-illegal case, which the analyzer rejects with the broken distance
-//! vector as witness.
+//! vector as witness. `analyze --locality` switches to the **static
+//! locality analyzer** (DESIGN.md §15): with no simulation it derives each
+//! transform's symbolic reuse-distance histogram (the full
+//! fully-associative LRU miss curve and its knees), per-level predictions
+//! with conflict-interference corrections, the analytic lower bound, and
+//! typed conflict witnesses for pathological pad/column combinations.
+//!
+//! `oracle` is the three-way cross-validation: per transform and cache
+//! level it reports `simulated / predicted / bound`, replaying the exact
+//! trace next to the static model, and exits non-zero if the analytic
+//! lower bound ever exceeds the simulated misses. `simulate --tlb` wraps
+//! the hierarchy in the data-TLB model: translations miss into page-table
+//! walks that read PTEs *through* the caches, and the report separates
+//! walk traffic from program traffic.
 //!
 //! `measure` wall-clocks the row-segment execution engine at one size:
 //! sequential GFLOP/s plus the K-slab parallel sweep across `--jobs`
@@ -83,13 +97,14 @@ use tiling3d_bench::{
     checkpoint, simulate_grid, simulate_grid_supervised, supervise, SimPoint, SimPool, SweepConfig,
     SweepError, SweepOptions,
 };
-use tiling3d_cachesim::{CacheConfig, Hierarchy};
+use tiling3d_cachesim::{AccessSink, CacheConfig, Hierarchy, MmuHierarchy, Tlb};
 use tiling3d_core::legality::certificate_for;
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
 use tiling3d_core::{
-    plan, plan_temporal, plan_temporal_certified, temporal_certificate, CacheSpec, TemporalKernel,
-    Transform,
+    histogram, lower_bound_misses, plan, plan_temporal, plan_temporal_certified, predict_level,
+    temporal_certificate, CacheSpec, KernelModel, LevelGeometry, PlanSchedule, Problem,
+    TemporalKernel, Transform,
 };
 use tiling3d_grid::{fill_random, Array3};
 use tiling3d_loopnest::{reuse, StencilShape};
@@ -147,6 +162,11 @@ pub const COMMANDS: &[CommandDef] = &[
         name: "analyze",
         flag_set: analyze_flags,
         run: cmd_analyze,
+    },
+    CommandDef {
+        name: "oracle",
+        flag_set: oracle_flags,
+        run: cmd_oracle,
     },
     CommandDef {
         name: "measure",
@@ -609,6 +629,10 @@ fn simulate_flags() -> FlagSet {
         ),
         JOBS_FLAG,
         STEPS_FLAG,
+        FlagSpec::switch(
+            "--tlb",
+            "simulate the 64-entry/8KB data TLB with page-walk reads through the caches",
+        ),
     ];
     flags.extend_from_slice(policy_flags());
     FlagSet::new(
@@ -631,13 +655,22 @@ fn cmd_simulate(flags: &ParsedFlags) -> Result<String, String> {
     l1.validate()
         .map_err(|e| format!("bad cache geometry: {e}"))?;
     if flags.usize("--steps") > 0 {
+        if flags.switch("--tlb") {
+            return Err("simulate: --tlb does not combine with --steps (temporal mode)".into());
+        }
         return simulate_temporal(flags, kernel, n, nk, cache, l1);
     }
     if flags.str("--transform").eq_ignore_ascii_case("all") {
+        if flags.switch("--tlb") {
+            return Err("simulate: --tlb needs a single --transform, not 'all'".into());
+        }
         return simulate_all(flags, kernel, n, nk, cache, l1);
     }
     let opts = SweepOptions::from_flags(flags)?;
     let t: Transform = flags.parse_str("--transform")?;
+    if flags.switch("--tlb") {
+        return simulate_tlb(&opts, kernel, t, n, nk, cache, l1);
+    }
     let (p, h) = supervise::supervise_item(&opts.policy, || {
         let p = plan(t, cache, n, n, &kernel.shape());
         let mut h = Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2);
@@ -658,6 +691,55 @@ fn cmd_simulate(flags: &ParsedFlags) -> Result<String, String> {
         h.l1_stats().misses,
         h.l1_stats().accesses,
         h.l2_miss_rate_pct(),
+    ))
+}
+
+/// `simulate --tlb`: the same single-transform replay, but through an
+/// [`MmuHierarchy`] — a 64-entry/8KB-page data TLB whose misses cost a
+/// page-table-entry read *through the caches* (so walk traffic both
+/// pollutes and profits from L1/L2). Reports the TLB miss rate and the
+/// walker's share of cache traffic next to the usual per-level rates,
+/// quantifying the cache-vs-TLB trade-off of thin tiles (Mitchell et al.).
+fn simulate_tlb(
+    opts: &SweepOptions,
+    kernel: Kernel,
+    t: Transform,
+    n: usize,
+    nk: usize,
+    cache: CacheSpec,
+    l1: CacheConfig,
+) -> Result<String, String> {
+    let (p, m) = supervise::supervise_item(&opts.policy, || {
+        let p = plan(t, cache, n, n, &kernel.shape());
+        let mut m = MmuHierarchy::new(
+            Tlb::ultrasparc2(),
+            Hierarchy::new(l1, CacheConfig::ULTRASPARC2_L2),
+        );
+        kernel.trace(n, nk, p.padded_di, p.padded_dj, p.tile, &mut m);
+        sim_health(m.hierarchy())?;
+        Ok((p, m))
+    })
+    .map_err(|e| format!("simulate: {} at N = {n} failed: {e}", t.name()))?;
+    let tlb = m.tlb_stats();
+    let l1s = m.l1_stats();
+    Ok(format!(
+        "{} {n}x{n}x{nk} under {} with dTLB (64 entries x 8KB pages): tile {:?}, dims {}x{}\n\
+         TLB miss rate {:.4}% ({} walks / {} translations)\n\
+         L1 miss rate {:.2}% ({} misses / {} accesses, of which {} are page-walk reads)\n\
+         L2 miss rate {:.2}%\n",
+        kernel.name(),
+        t.name(),
+        p.tile,
+        p.padded_di,
+        p.padded_dj,
+        m.tlb_miss_rate_pct(),
+        m.walk_reads(),
+        tlb.accesses,
+        m.hierarchy().l1_miss_rate_pct(),
+        l1s.misses,
+        l1s.accesses,
+        m.walk_reads(),
+        m.hierarchy().l2_miss_rate_pct(),
     ))
 }
 
@@ -894,6 +976,12 @@ fn analyze_flags() -> FlagSet {
                 "--temporal",
                 "certify the time-skewed (T, K) band schedule family instead",
             ),
+            FlagSpec::switch(
+                "--locality",
+                "run the static locality analyzer: reuse histogram, miss curve, conflict witnesses",
+            ),
+            NK_FLAG,
+            GEOMETRY_FLAG,
         ],
     )
 }
@@ -950,6 +1038,9 @@ fn analyze_temporal(flags: &ParsedFlags) -> Result<String, String> {
 fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
     if flags.switch("--temporal") {
         return analyze_temporal(flags);
+    }
+    if flags.switch("--locality") {
+        return analyze_locality(flags);
     }
     let kernel = kernel(flags)?;
     let n = flags.usize("--n");
@@ -1028,6 +1119,502 @@ fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
             "\nILLEGAL schedules for: {} — refusing to certify",
             illegal.join(", ")
         );
+        Err(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static locality analysis (`analyze --locality`) and the oracle
+// ---------------------------------------------------------------------------
+
+const GEOMETRY_FLAG: FlagSpec = FlagSpec::str(
+    "--geometry",
+    Some("us2"),
+    "cache geometry for locality analysis: us2|modern|fa",
+);
+
+/// One analysed memory system: the simulator configs plus the static
+/// model's view of the same two levels.
+struct AnalysisGeometry {
+    name: &'static str,
+    l1_cfg: CacheConfig,
+    l2_cfg: CacheConfig,
+    l1: LevelGeometry,
+    l2: LevelGeometry,
+}
+
+fn analysis_geometry(flags: &ParsedFlags) -> Result<AnalysisGeometry, String> {
+    use tiling3d_cachesim::{ReplacementPolicy, WritePolicy};
+    match flags.str("--geometry") {
+        "us2" => Ok(AnalysisGeometry {
+            name: "us2",
+            l1_cfg: CacheConfig::ULTRASPARC2_L1,
+            l2_cfg: CacheConfig::ULTRASPARC2_L2,
+            l1: LevelGeometry::ultrasparc2_l1(),
+            l2: LevelGeometry::ultrasparc2_l2(),
+        }),
+        "modern" => Ok(AnalysisGeometry {
+            name: "modern",
+            l1_cfg: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                write_policy: WritePolicy::WriteAllocate,
+                replacement: ReplacementPolicy::Lru,
+            },
+            l2_cfg: CacheConfig {
+                size_bytes: 1024 * 1024,
+                line_bytes: 64,
+                ways: 8,
+                write_policy: WritePolicy::WriteAllocate,
+                replacement: ReplacementPolicy::Lru,
+            },
+            l1: LevelGeometry::modern_l1(),
+            l2: LevelGeometry::modern_l2(),
+        }),
+        "fa" => Ok(AnalysisGeometry {
+            name: "fa",
+            l1_cfg: CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 32,
+                ways: 512,
+                write_policy: WritePolicy::WriteAround,
+                replacement: ReplacementPolicy::Lru,
+            },
+            l2_cfg: CacheConfig::ULTRASPARC2_L2,
+            l1: LevelGeometry::fa_16k(),
+            l2: LevelGeometry::ultrasparc2_l2(),
+        }),
+        other => Err(format!(
+            "--geometry: unknown geometry '{other}' (expected us2, modern or fa)"
+        )),
+    }
+}
+
+/// One kernel × transform cell as the static model sees it. Red-black
+/// realises its locality transformation as the *fused* schedule (Fig 12)
+/// rather than the skewed tile: the skewed-tiled working set sits exactly
+/// on the capacity boundary by construction, where a static hit/miss
+/// classifier is not meaningful (DESIGN.md §15).
+struct LocalityCell {
+    model: KernelModel,
+    sched: PlanSchedule,
+    prob: Problem,
+    tile: Option<(usize, usize)>,
+    padded: (usize, usize),
+}
+
+fn locality_cell(
+    kernel: Kernel,
+    t: Transform,
+    cache: CacheSpec,
+    n: usize,
+    nk: usize,
+) -> LocalityCell {
+    let p = plan(t, cache, n, n, &kernel.shape());
+    let tile = if kernel == Kernel::RedBlack {
+        None
+    } else {
+        p.tile
+    };
+    let sched = match tile {
+        Some((ti, tj)) => PlanSchedule::Tiled { ti, tj },
+        None => PlanSchedule::Untiled,
+    };
+    let model = match kernel {
+        Kernel::Jacobi => KernelModel::jacobi3d(),
+        Kernel::RedBlack if t == Transform::Orig => KernelModel::redblack_naive(),
+        Kernel::RedBlack => KernelModel::redblack_fused(),
+        Kernel::Resid => KernelModel::resid(),
+    };
+    LocalityCell {
+        model,
+        sched,
+        prob: Problem {
+            n,
+            nk,
+            di: p.padded_di,
+            dj: p.padded_dj,
+        },
+        tile,
+        padded: (p.padded_di, p.padded_dj),
+    }
+}
+
+/// Replays the exact trace the cell models (the oracle's simulated leg).
+fn replay_cell<S: AccessSink>(kernel: Kernel, cell: &LocalityCell, sink: &mut S) {
+    use tiling3d_stencil::redblack;
+    let Problem { n, nk, di, dj } = cell.prob;
+    let tile = cell
+        .tile
+        .map(|(ti, tj)| tiling3d_loopnest::TileDims::new(ti, tj));
+    match kernel {
+        Kernel::Jacobi => tiling3d_stencil::jacobi3d::trace(n, n, nk, di, dj, tile, sink),
+        Kernel::RedBlack => {
+            let sched = if cell.model.fused3d {
+                redblack::Schedule::Fused
+            } else {
+                redblack::Schedule::Naive
+            };
+            redblack::trace(n, nk, di, dj, sched, sink);
+        }
+        Kernel::Resid => tiling3d_stencil::resid::trace(n, n, nk, di, dj, tile, sink),
+    }
+}
+
+fn witness_json(w: &tiling3d_loopnest::locality::ConflictWitness) -> Json {
+    use tiling3d_loopnest::locality::WitnessKind;
+    Json::obj(vec![
+        (
+            "kind",
+            Json::str(match w.kind {
+                WitnessKind::ThrashGroup => "thrash-group",
+                WitnessKind::BandOverlap => "band-overlap",
+            }),
+        ),
+        (
+            "refs",
+            Json::Arr(w.refs.iter().map(|r| Json::str(*r)).collect()),
+        ),
+        (
+            "set_window",
+            Json::Arr(vec![
+                Json::uint(w.set_window.0 as u64),
+                Json::uint(w.set_window.1 as u64),
+            ]),
+        ),
+        ("period_iters", Json::uint(w.period_iters)),
+        ("lines", Json::uint(w.lines as u64)),
+        ("ways", Json::uint(w.ways as u64)),
+        ("killed_fraction", Json::Num(w.killed_fraction)),
+    ])
+}
+
+fn level_json(lp: &tiling3d_core::LevelPrediction) -> Json {
+    Json::obj(vec![
+        ("predicted_pct", Json::Num(lp.miss_rate_pct)),
+        ("fa_pct", Json::Num(100.0 * lp.fa_misses / lp.accesses)),
+        ("predicted_misses", Json::Num(lp.misses)),
+        ("bound_misses", Json::Num(lp.bound_misses)),
+        ("pathological", Json::Bool(lp.conflicts.pathological)),
+        (
+            "witnesses",
+            Json::Arr(lp.conflicts.witnesses.iter().map(witness_json).collect()),
+        ),
+    ])
+}
+
+fn requested_transforms(flags: &ParsedFlags) -> Result<Vec<Transform>, String> {
+    match flags.try_str("--transform") {
+        None => Ok(Transform::ALL.to_vec()),
+        Some(t) if t.eq_ignore_ascii_case("all") => Ok(Transform::ALL.to_vec()),
+        Some(t) => Ok(vec![t.parse()?]),
+    }
+}
+
+/// `analyze --locality`: the purely static locality analyzer. For each
+/// transform: the symbolic reuse-distance histogram (= the full
+/// fully-associative LRU miss curve), its knees, the per-level
+/// predictions with conflict-interference corrections, the analytic
+/// lower bound, and every typed conflict witness. No trace is replayed.
+fn analyze_locality(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.usize("--n");
+    if n < 3 {
+        return Err("analyze requires --n >= 3".into());
+    }
+    let nk = flags.usize("--nk");
+    let cache = cache_spec(flags);
+    let g = analysis_geometry(flags)?;
+    let transforms = requested_transforms(flags)?;
+    let cells: Vec<_> = transforms
+        .iter()
+        .map(|&t| {
+            let cell = locality_cell(kernel, t, cache, n, nk);
+            let p1 = predict_level(&cell.model, cell.sched, &cell.prob, &g.l1);
+            let p2 = predict_level(&cell.model, cell.sched, &cell.prob, &g.l2);
+            let h = histogram(&cell.model, cell.sched, &cell.prob, &g.l1);
+            (t, cell, p1, p2, h)
+        })
+        .collect();
+    if json_format(flags)? {
+        let rows = cells
+            .iter()
+            .map(|(t, cell, p1, p2, h)| {
+                let classes = h
+                    .classes
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("label", Json::str(c.label)),
+                            ("kind", Json::str(format!("{:?}", c.kind))),
+                            ("distance", Json::Num(c.distance)),
+                            ("count", Json::Num(c.count)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("transform", Json::str(t.name())),
+                    ("tile", tile_json(cell.tile)),
+                    (
+                        "padded_dims",
+                        Json::Arr(vec![
+                            Json::uint(cell.padded.0 as u64),
+                            Json::uint(cell.padded.1 as u64),
+                        ]),
+                    ),
+                    ("histogram", Json::Arr(classes)),
+                    (
+                        "knees",
+                        Json::Arr(h.knees().iter().map(|&k| Json::uint(k)).collect()),
+                    ),
+                    ("l1", level_json(p1)),
+                    ("l2", level_json(p2)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("kernel", Json::str(kernel.name())),
+            ("n", Json::uint(n as u64)),
+            ("nk", Json::uint(nk as u64)),
+            ("geometry", Json::str(g.name)),
+            ("transforms", Json::Arr(rows)),
+        ]);
+        return Ok(format!("{}\n", doc.render()));
+    }
+    let mut out = format!(
+        "static locality analysis: {} {n}x{n}x{nk}, geometry {} \
+         (L1 {}KB {}-way/{}B, L2 {}KB {}-way/{}B)\n",
+        kernel.name(),
+        g.name,
+        g.l1.size_bytes / 1024,
+        g.l1.ways,
+        g.l1.line_bytes,
+        g.l2.size_bytes / 1024,
+        g.l2.ways,
+        g.l2.line_bytes,
+    );
+    for (t, cell, p1, p2, h) in &cells {
+        let _ = writeln!(
+            out,
+            "\n== {} ({}, alloc {}x{}) ==",
+            t.name(),
+            cell.tile
+                .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
+            cell.padded.0,
+            cell.padded.1,
+        );
+        let _ = writeln!(
+            out,
+            "  reuse-distance histogram ({:.0} accesses):",
+            h.accesses
+        );
+        let _ = writeln!(
+            out,
+            "    {:<16}{:<9}{:>14}{:>14}",
+            "class", "kind", "distance", "count"
+        );
+        for c in &h.classes {
+            let _ = writeln!(
+                out,
+                "    {:<16}{:<9}{:>14.0}{:>14.0}",
+                c.label,
+                format!("{:?}", c.kind),
+                c.distance,
+                c.count
+            );
+        }
+        let knees: Vec<String> = h.knees().iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "  miss-curve knees (elements): {}", knees.join(", "));
+        for lp in [p1, p2] {
+            let _ = writeln!(
+                out,
+                "  {}: predicted {:.2}% (fa {:.2}% + conflict {:.0} misses), bound {:.0} misses",
+                lp.level,
+                lp.miss_rate_pct,
+                100.0 * lp.fa_misses / lp.accesses,
+                lp.conflict_extra,
+                lp.bound_misses,
+            );
+        }
+        if p1.conflicts.witnesses.is_empty() && p2.conflicts.witnesses.is_empty() {
+            let _ = writeln!(out, "  conflicts: none");
+        }
+        for (level, lp) in [("L1", p1), ("L2", p2)] {
+            for w in &lp.conflicts.witnesses {
+                let _ = writeln!(
+                    out,
+                    "  {} witness: {:?} refs {:?} window [{}, {}) period {} \
+                     lines {} ways {} kill {:.2}{}",
+                    level,
+                    w.kind,
+                    w.refs,
+                    w.set_window.0,
+                    w.set_window.1,
+                    w.period_iters,
+                    w.lines,
+                    w.ways,
+                    w.killed_fraction,
+                    if lp.conflicts.pathological {
+                        "  [PATHOLOGICAL]"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// oracle
+// ---------------------------------------------------------------------------
+
+fn oracle_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d oracle",
+        "simulated / predicted / bound miss table per transform and level",
+        None,
+        &[
+            KERNEL_FLAG,
+            FlagSpec::usize("--n", Some("120"), "problem size N"),
+            FlagSpec::usize("--nk", Some("20"), "third-dimension extent"),
+            CACHE_KB_FLAG,
+            FlagSpec::str(
+                "--transform",
+                None,
+                "transformation to check (default: all)",
+            ),
+            GEOMETRY_FLAG,
+        ],
+    )
+}
+
+/// `oracle`: the three-way cross-validation table. For each transform it
+/// replays the exact kernel trace through the simulator *and* runs the
+/// static model, printing `simulated / predicted / bound` per cache
+/// level. The analytic lower bound holds for any replacement policy, so
+/// `bound <= simulated` is asserted here — a violation is a model bug and
+/// exits non-zero (the CI oracle gate).
+fn cmd_oracle(flags: &ParsedFlags) -> Result<String, String> {
+    let kernel = kernel(flags)?;
+    let n = flags.usize("--n");
+    if n < 3 {
+        return Err("oracle requires --n >= 3".into());
+    }
+    let nk = flags.usize("--nk");
+    let cache = cache_spec(flags);
+    let g = analysis_geometry(flags)?;
+    let transforms = requested_transforms(flags)?;
+    struct OracleRow {
+        transform: &'static str,
+        level: &'static str,
+        sim_pct: f64,
+        pred_pct: f64,
+        bound: f64,
+        sim_misses: u64,
+        pathological: bool,
+    }
+    let mut rows: Vec<OracleRow> = Vec::new();
+    for &t in &transforms {
+        let cell = locality_cell(kernel, t, cache, n, nk);
+        let mut h = Hierarchy::new(g.l1_cfg, g.l2_cfg);
+        replay_cell(kernel, &cell, &mut h);
+        let acc = h.l1_stats().accesses as f64;
+        let p1 = predict_level(&cell.model, cell.sched, &cell.prob, &g.l1);
+        let p2 = predict_level(&cell.model, cell.sched, &cell.prob, &g.l2);
+        let b2 = lower_bound_misses(&cell.model, &cell.prob, &g.l2, g.l1.capacity_elements());
+        rows.push(OracleRow {
+            transform: t.name(),
+            level: "L1",
+            sim_pct: 100.0 * h.l1_stats().misses as f64 / acc,
+            pred_pct: p1.miss_rate_pct,
+            bound: p1.bound_misses,
+            sim_misses: h.l1_stats().misses,
+            pathological: p1.conflicts.pathological,
+        });
+        rows.push(OracleRow {
+            transform: t.name(),
+            level: "L2",
+            sim_pct: 100.0 * h.l2_stats().misses as f64 / acc,
+            pred_pct: 100.0 * p2.misses / p2.accesses,
+            bound: b2,
+            sim_misses: h.l2_stats().misses,
+            pathological: p2.conflicts.pathological,
+        });
+    }
+    let violations: Vec<String> = rows
+        .iter()
+        .filter(|r| r.bound > r.sim_misses as f64 + 0.5)
+        .map(|r| {
+            format!(
+                "{} {}: bound {:.0} exceeds simulated misses {}",
+                r.transform, r.level, r.bound, r.sim_misses
+            )
+        })
+        .collect();
+    if json_format(flags)? {
+        let jrows = rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("transform", Json::str(r.transform)),
+                    ("level", Json::str(r.level)),
+                    ("simulated_pct", Json::Num(r.sim_pct)),
+                    ("predicted_pct", Json::Num(r.pred_pct)),
+                    ("bound_misses", Json::Num(r.bound)),
+                    ("simulated_misses", Json::uint(r.sim_misses)),
+                    ("pathological", Json::Bool(r.pathological)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("kernel", Json::str(kernel.name())),
+            ("n", Json::uint(n as u64)),
+            ("nk", Json::uint(nk as u64)),
+            ("geometry", Json::str(g.name)),
+            ("bound_holds", Json::Bool(violations.is_empty())),
+            ("rows", Json::Arr(jrows)),
+        ]);
+        let rendered = format!("{}\n", doc.render());
+        return if violations.is_empty() {
+            Ok(rendered)
+        } else {
+            Err(rendered)
+        };
+    }
+    let mut out = format!(
+        "locality oracle: {} {n}x{n}x{nk}, geometry {} — simulated vs predicted vs bound\n\
+         {:<10}{:<5}{:>12}{:>12}{:>14}{:>8}\n",
+        kernel.name(),
+        g.name,
+        "transform",
+        "lvl",
+        "simulated",
+        "predicted",
+        "bound",
+        "flags"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<10}{:<5}{:>11.2}%{:>11.2}%{:>14.0}{:>8}",
+            r.transform,
+            r.level,
+            r.sim_pct,
+            r.pred_pct,
+            r.bound,
+            if r.pathological { "PATH" } else { "-" },
+        );
+    }
+    if violations.is_empty() {
+        let _ = writeln!(out, "lower bound holds on every row");
+        Ok(out)
+    } else {
+        for v in &violations {
+            let _ = writeln!(out, "BOUND VIOLATION: {v}");
+        }
         Err(out)
     }
 }

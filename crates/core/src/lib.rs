@@ -44,6 +44,7 @@ mod euc;
 mod gcdpad;
 pub mod intervar;
 pub mod legality;
+pub mod missmodel;
 pub mod nonconflict;
 mod overhead;
 mod padsearch;
@@ -60,6 +61,10 @@ pub use euc::{
 };
 pub use gcdpad::{gcd_pad, GcdPadPlan};
 pub use legality::{plan_certified, CertifiedPlan, IllegalPlan, SweepDiscipline};
+pub use missmodel::{
+    histogram, lower_bound_misses, predict_level, KernelModel, LevelGeometry, LevelPrediction,
+    PlanSchedule, Problem,
+};
 pub use nonconflict::ArrayTile;
 pub use overhead::{memory_overhead_pct, padded_elements};
 pub use padsearch::pad;

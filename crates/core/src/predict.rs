@@ -27,18 +27,36 @@
 //! array (never allocated), and essentially never for in-place kernels
 //! (the centre read just allocated the line).
 //!
-//! The machine model is a **fully-associative LRU** cache (the classical
-//! "conflict-free" idealisation). The test suites validate the closed
-//! forms against the trace-driven simulator in that configuration to
-//! within a few percent (JACOBI untiled: predicted 25.0% vs simulated
-//! 25.1%; RESID: 12.07% vs 12.13%). Real *direct-mapped* caches can land
-//! on either side: conflicts add misses, but in the borderline regime
-//! where the column working set slightly exceeds capacity a direct-mapped
+//! # The machine model is conflict-free
+//!
+//! **These predictions model a fully-associative LRU cache** (the
+//! classical "conflict-free" idealisation) and therefore *cannot* see
+//! set-index conflict misses. Real *direct-mapped* caches can land on
+//! either side: pathological pad/column-size combinations add large
+//! conflict terms (a plane stride `0 mod span` triples the miss rate —
+//! the paper's motivating case), while in the borderline regime where
+//! the column working set slightly exceeds capacity a direct-mapped
 //! cache can also *beat* LRU (RESID at N = 280: 6.9% direct-mapped vs
-//! 12.1% fully associative) because modulo placement resists LRU's cyclic
-//! eviction of exactly the lines about to be reused.
+//! 12.1% fully associative) because modulo placement resists LRU's
+//! cyclic eviction of exactly the lines about to be reused. For
+//! conflict-aware predictions use [`crate::missmodel::predict_level`],
+//! which adds the static interference correction and typed
+//! `ConflictWitness`es.
+//!
+//! Since the miss-model layer landed, both entry points here *route
+//! through* [`crate::missmodel::histogram`]: the untiled and tiled
+//! closed forms are two points on the symbolic reuse-distance miss
+//! curve, and a regression test pins the histogram evaluation to the
+//! original closed forms term by term. (One deliberate refinement over
+//! the historical formulas: when an entire array fits in cache, repeated
+//! passes are now predicted to hit rather than refetch.)
+//!
+//! The test suites validate the closed forms against the trace-driven
+//! simulator in the fully-associative configuration to within a few
+//! percent (JACOBI untiled: predicted 25.0% vs simulated 25.1%; RESID:
+//! 12.07% vs 12.13%).
 
-use crate::cost::CostModel;
+use crate::missmodel::{histogram, KernelModel, LevelGeometry, PlanSchedule, Problem};
 use crate::plan::CacheSpec;
 use tiling3d_loopnest::StencilShape;
 
@@ -103,6 +121,36 @@ impl SweepSpec {
     pub fn accesses_per_point(&self) -> u64 {
         self.shape.reads_per_point() as u64 + self.extra_streams as u64 + 1
     }
+
+    /// The miss-model kernel description equivalent to this spec.
+    pub fn kernel_model(&self) -> KernelModel {
+        KernelModel {
+            name: self.shape.name(),
+            shape: self.shape.clone(),
+            in_place: self.in_place,
+            extra_streams: self.extra_streams,
+            passes: self.passes,
+            steps: 1,
+            copy_back: false,
+            two_d: self.shape.atd() == 1,
+            fused_lag_cols: 0,
+            reads_per_point: self.shape.reads_per_point(),
+            fused3d: false,
+        }
+    }
+}
+
+/// A conflict-free (fully-associative, write-around) level of the given
+/// capacity and line length — the machine model of this module.
+fn conflict_free_level(cache: CacheSpec, line_elems: usize) -> LevelGeometry {
+    LevelGeometry {
+        name: "L1",
+        size_bytes: cache.elements * 8,
+        line_bytes: line_elems * 8,
+        // One set: fully associative, no set conflicts representable.
+        ways: (cache.elements / line_elems).max(1),
+        write_allocate: false,
+    }
 }
 
 /// A predicted miss profile.
@@ -142,50 +190,17 @@ pub fn column_working_set(shape: &StencilShape, di: usize) -> usize {
     total_cols * di
 }
 
-/// Per-point refetch factor of the main input array for the untiled sweep,
-/// in "plane-fetches per point" (multiply by `E/L` for misses).
-///
-/// The J-reuse survival test counts the full inter-touch reuse distance:
-/// the stencil's own column bands *plus* one column per extra streaming
-/// array (RESID's `V` lines sit between successive touches of every `U`
-/// line and push the working set over the edge near N = 205).
-fn untiled_refetch_factor(
-    cache: CacheSpec,
-    shape: &StencilShape,
-    extra_streams: usize,
-    di: usize,
-    dj: usize,
-) -> f64 {
-    let atd = shape.atd();
-    // K-direction reuse: (ATD - 1) planes of *distance* must stay cached.
-    if (atd.saturating_sub(1)) * di * dj <= cache.elements {
-        return 1.0;
-    }
-    // J-direction reuse: the joint column working set (stencil bands plus
-    // streaming columns) must fit.
-    if column_working_set(shape, di) + extra_streams * di <= cache.elements {
-        return atd as f64;
-    }
-    // Only I-direction (spatial) reuse left: each plane group streams its
-    // row band independently.
-    let dks: std::collections::BTreeSet<i32> = shape.offsets().iter().map(|o| o.2).collect();
-    let mut fetches = 0usize;
-    for dk in dks {
-        let djs: Vec<i32> = shape
-            .offsets()
-            .iter()
-            .filter(|o| o.2 == dk)
-            .map(|o| o.1)
-            .collect();
-        let span = (djs.iter().max().unwrap() - djs.iter().min().unwrap()) as usize;
-        fetches += span + 1;
-    }
-    fetches as f64
-}
-
 /// Predicts one **untiled** sweep on a conflict-free cache of
 /// `cache.elements` doubles with `line_elems` elements per line, for an
 /// `n x n x nk` problem allocated `di x dj`.
+///
+/// Routes through the symbolic reuse-distance histogram
+/// ([`crate::missmodel::histogram`]): the three historical regimes —
+/// K-reuse alive, J-reuse alive, spatial only — fall out of which
+/// classes survive `cache.elements`. The J-reuse survival boundary
+/// counts the stencil's column bands *plus* one column per extra
+/// streaming array (RESID's `V` lines push the working set over the
+/// edge near N = 205).
 pub fn predict_untiled(
     cache: CacheSpec,
     line_elems: usize,
@@ -195,21 +210,19 @@ pub fn predict_untiled(
     di: usize,
     dj: usize,
 ) -> Prediction {
-    let p = ((n - 2) * (n - 2) * (nk - 2)) as f64; // interior points
-    let l = line_elems as f64;
-    let refetch = untiled_refetch_factor(cache, &spec.shape, spec.extra_streams, di, dj);
-    let read_misses = spec.passes as f64 * refetch * p / l;
-    let stream_misses = spec.extra_streams as f64 * p / l;
-    let write_misses = if spec.in_place { 0.0 } else { p };
-    let accesses = p * spec.accesses_per_point() as f64;
-    finish(read_misses + stream_misses + write_misses, accesses)
+    let model = spec.kernel_model();
+    let prob = Problem { n, nk, di, dj };
+    let level = conflict_free_level(cache, line_elems);
+    let h = histogram(&model, PlanSchedule::Untiled, &prob, &level);
+    finish(h.misses_at(cache.elements as f64), h.accesses)
 }
 
 /// Predicts one **tiled** sweep (non-conflicting `(ti, tj)` iteration
-/// tile, Fig 6 schedule) on the same machine model.
-#[allow(clippy::too_many_arguments)]
+/// tile, Fig 6 schedule) on the same machine model: in the tile window
+/// the per-point line traffic is exactly the paper's cost function
+/// `(TI+m)(TJ+n) / (TI*TJ*L)`.
 pub fn predict_tiled(
-    _cache: CacheSpec,
+    cache: CacheSpec,
     line_elems: usize,
     spec: &SweepSpec,
     n: usize,
@@ -217,21 +230,22 @@ pub fn predict_tiled(
     ti: usize,
     tj: usize,
 ) -> Prediction {
-    let p = ((n - 2) * (n - 2) * (nk - 2)) as f64;
-    let l = line_elems as f64;
-    let cost = CostModel::from_shape(&spec.shape);
-    // The cost function: array-tile elements fetched per iteration point.
-    let per_point = cost.eval(ti as i64, tj as i64);
-    let read_misses = p * per_point / l;
-    let stream_misses = spec.extra_streams as f64 * p / l;
-    let write_misses = if spec.in_place { 0.0 } else { p };
-    let accesses = p * spec.accesses_per_point() as f64;
-    finish(read_misses + stream_misses + write_misses, accesses)
+    let model = spec.kernel_model();
+    let prob = Problem {
+        n,
+        nk,
+        di: n,
+        dj: n,
+    };
+    let level = conflict_free_level(cache, line_elems);
+    let h = histogram(&model, PlanSchedule::Tiled { ti, tj }, &prob, &level);
+    finish(h.misses_at(cache.elements as f64), h.accesses)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CostModel;
 
     const L1: CacheSpec = CacheSpec::ELEMENTS_16K_DOUBLES;
 
@@ -303,6 +317,72 @@ mod tests {
         // (two passes) while Jacobi pays a write miss per point.
         assert!(rb.misses < 2.0 * j.misses);
         assert!(rb.miss_rate_pct < 20.0);
+    }
+
+    /// The pre-miss-model closed forms, reimplemented verbatim: the
+    /// histogram route must reproduce them exactly on every shared case
+    /// (array larger than cache, so the inter-sweep class misses — the
+    /// only regime the historical formulas modelled).
+    #[test]
+    fn histogram_route_agrees_with_the_historical_closed_forms() {
+        fn old_untiled(cache: CacheSpec, le: usize, spec: &SweepSpec, n: usize, nk: usize) -> f64 {
+            let (di, dj) = (n, n);
+            let p = ((n - 2) * (n - 2) * (nk - 2)) as f64;
+            let atd = spec.shape.atd();
+            let refetch = if (atd.saturating_sub(1)) * di * dj <= cache.elements {
+                1.0
+            } else if column_working_set(&spec.shape, di) + spec.extra_streams * di
+                <= cache.elements
+            {
+                atd as f64
+            } else {
+                column_working_set(&spec.shape, 1) as f64
+            };
+            let misses = spec.passes as f64 * refetch * p / le as f64
+                + spec.extra_streams as f64 * p / le as f64
+                + if spec.in_place { 0.0 } else { p };
+            100.0 * misses / (p * spec.accesses_per_point() as f64)
+        }
+        for spec in [
+            SweepSpec::jacobi3d(),
+            SweepSpec::redblack_naive(),
+            SweepSpec::redblack_fused(),
+            SweepSpec::resid(),
+        ] {
+            for (n, nk) in [
+                (30, 30),
+                (130, 30),
+                (204, 30),
+                (205, 30),
+                (280, 24),
+                (300, 30),
+            ] {
+                let new = predict_untiled(L1, 4, &spec, n, nk, n, n).miss_rate_pct;
+                let old = old_untiled(L1, 4, &spec, n, nk);
+                assert!(
+                    (new - old).abs() < 1e-9,
+                    "{} N={n}: rerouted {new} vs historical {old}",
+                    spec.shape.name()
+                );
+            }
+        }
+        // Tiled: the cost function, for tiles whose working set fits.
+        for spec in [SweepSpec::jacobi3d(), SweepSpec::resid()] {
+            for (ti, tj) in [(30, 14), (22, 13), (16, 16)] {
+                let p = f64::from(298 * 298 * 28);
+                let cost = CostModel::from_shape(&spec.shape).eval(ti as i64, tj as i64);
+                let old_misses = p * cost / 4.0
+                    + spec.extra_streams as f64 * p / 4.0
+                    + if spec.in_place { 0.0 } else { p };
+                let old = 100.0 * old_misses / (p * spec.accesses_per_point() as f64);
+                let new = predict_tiled(L1, 4, &spec, 300, 30, ti, tj).miss_rate_pct;
+                assert!(
+                    (new - old).abs() < 1e-9,
+                    "{} tile ({ti},{tj}): rerouted {new} vs historical {old}",
+                    spec.shape.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -52,10 +52,15 @@ mod shape;
 mod space;
 mod verify;
 
+pub mod locality;
 pub mod reuse;
 
 pub use ir::{ArrayDesc, ArrayRef, Dim, Loop, LoopKind, Nest, Trace};
 pub use legality::{certify, Dep, DepSet, LegalityCertificate, Schedule, Verdict, Violation};
+pub use locality::{
+    analyze_conflicts, ClassKind, ConflictReport, ConflictWitness, LiveInterval, PointRef,
+    ReuseClass, ReuseHistogram, SetGeometry, WitnessKind,
+};
 pub use rows::{for_each_rows, for_each_tiled_rows, stride2_clip, stride2_last};
 pub use shape::StencilShape;
 pub use space::{for_each, for_each_tiled, IterSpace, TileDims};

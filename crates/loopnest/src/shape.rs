@@ -70,6 +70,15 @@ impl StencilShape {
         )
     }
 
+    /// One 2D red-black SOR update: centre plus the four edge neighbours,
+    /// all on the same array (`dk = 0` everywhere).
+    pub fn redblack2d() -> Self {
+        Self::new(
+            "redblack2d",
+            vec![(0, 0, 0), (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0)],
+        )
+    }
+
     /// The *fused* red-black schedule of Fig 12: black points in plane `K`
     /// are updated together with red points in plane `K+1`, so relative to
     /// the fused iteration `KK` the union of accesses spans planes

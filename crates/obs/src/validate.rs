@@ -183,7 +183,6 @@ pub fn check_trace_str(trace: &str, golden: &Schema) -> TraceReport {
 }
 
 fn span_id(v: &Json) -> u64 {
-    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     v.get("id")
         .and_then(Json::as_f64)
         .map(|f| f as u64)

@@ -126,7 +126,6 @@ fn copy_plane(
 /// element and a write to the buffer (placed just after the two arrays);
 /// per computed point, six buffer reads and the `A` store. Layout matches
 /// [`crate::jacobi3d::trace`] with the buffer appended.
-#[allow(clippy::too_many_arguments)]
 pub fn trace_tiled_copying<S: AccessSink>(
     ni: usize,
     nj: usize,

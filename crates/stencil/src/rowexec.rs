@@ -19,7 +19,6 @@ use crate::resid::Coeffs;
 pub(crate) fn note_sweep(points: u64, flops_per_point: u64) {
     if tiling3d_obs::collecting() {
         tiling3d_obs::counter_add("stencil.points_updated", points);
-        #[allow(clippy::cast_precision_loss)]
         tiling3d_obs::gauge_add("stencil.flops", (points * flops_per_point) as f64);
     }
 }

@@ -30,9 +30,9 @@
 //! wavefront_blocks_are_dependence_free` checks the block geometry
 //! directly).
 //!
-//! Row updates go through [`rowexec`](crate::rowexec) — the same
+//! Row updates go through [`rowexec`] — the same
 //! bounds-check-free kernels as the spatial engine — so every schedule
-//! here is **bitwise identical** to [`reference`](crate::reference)
+//! here is **bitwise identical** to [`mod@reference`]
 //! iterated `steps` times, for any tile shape and any thread count
 //! (`tests/time_tiled_golden.rs` is the gate). Red-black is scheduled at
 //! *colour-pass* granularity: pass `p = 2t + colour`, so a time tile of
@@ -529,7 +529,6 @@ fn run_redblack_wave(
 }
 
 /// One red-black tile against its owned planes (plane-local indexing).
-#[allow(clippy::too_many_arguments)]
 fn run_redblack_block(
     blk: &SkewedBlock,
     own: &mut Vec<(usize, &mut [f64])>,
@@ -573,7 +572,6 @@ fn pick(bases: [u64; 2], t: usize) -> (u64, u64) {
 /// Per-point Jacobi accesses for one `(j, k)` row: six neighbour reads
 /// from `src`, one write to `dst` — operand order of
 /// [`rowexec::jacobi3d_row`].
-#[allow(clippy::too_many_arguments)]
 fn trace_jacobi_row<S: AccessSink>(g: Geom, src: u64, dst: u64, j: usize, k: usize, sink: &mut S) {
     let (dii, psi) = (g.di as i64, g.ps as i64);
     for i in 1..=g.ni - 2 {

@@ -80,14 +80,24 @@ fn predictor_matches_simulator_tiled() {
 
 #[test]
 fn predictor_ranks_transforms_like_the_simulator() {
-    // The model's whole job: order schedules correctly.
+    // The model's whole job: order schedules correctly. The FA simulation
+    // at these sizes gives untiled 25.10%, (30,14) 19.22%, (1,1) 25.33%:
+    // a degenerate tile is no better than not tiling, but only ~0.2pp
+    // worse — its tiny halo columns are revisited within ~270 elements,
+    // so LRU absorbs almost all the refetches the old closed-form cost
+    // function charged. The histogram model ties the two at its class
+    // resolution, so the ranking contract is `<=`, not `<`.
     let spec = SweepSpec::jacobi3d();
     let (n, nk) = (280usize, 30usize);
     let untiled = predict_untiled(C16K, 4, &spec, n, nk, n, n).miss_rate_pct;
     let good_tile = predict_tiled(C16K, 4, &spec, n, nk, 30, 14).miss_rate_pct;
     let degenerate = predict_tiled(C16K, 4, &spec, n, nk, 1, 1).miss_rate_pct;
     assert!(good_tile < untiled);
-    assert!(untiled < degenerate);
+    assert!(untiled <= degenerate);
+    assert!(
+        degenerate - good_tile > 5.0,
+        "degenerate {degenerate:.2}% must stay far above the good tile {good_tile:.2}%"
+    );
 }
 
 #[test]
