@@ -1,0 +1,139 @@
+//! Throughput benchmark of the `tiling3d serve` planning server: plans
+//! served per second at 1, 8, and 64 concurrent TCP clients, cold cache
+//! (every request plans) vs warm cache (every request is a memoized hit).
+//!
+//! Emits `BENCH_server.json` at the repository root; the derived
+//! `warm_speedup_N` fields record the memoization gain per concurrency
+//! level and are the artifact behind the "warm >= 5x cold" acceptance
+//! line in DESIGN.md §16.
+//!
+//! ```text
+//! cargo bench -p tiling3d-bench --bench server [-- --quick]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use tiling3d_bench::microbench::{to_json, Measurement};
+use tiling3d_bench::serve::{self, ServeConfig};
+
+/// Distinct plan requests for one concurrency level. `level` is folded
+/// into `dj` so every level's cold phase misses on fresh keys even though
+/// the server's cache persists across levels.
+fn requests(level: usize, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            let di = 64 + 4 * i;
+            format!(
+                "{{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"di\":{di},\"dj\":{dj},\
+                 \"steps\":4,\"jobs\":1}}",
+                dj = di + level
+            )
+        })
+        .collect()
+}
+
+/// One client: a single connection, one request line per reply line.
+fn drive(addr: SocketAddr, lines: Vec<String>) -> usize {
+    let stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut served = 0usize;
+    for line in lines {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert!(
+            reply.starts_with("{\"ev\":\"response\""),
+            "unexpected reply: {reply}"
+        );
+        served += 1;
+    }
+    served
+}
+
+/// Runs one phase: `clients` concurrent connections splitting `lines`
+/// round-robin, timed wall-clock, reported as plans/sec.
+fn phase(name: &str, addr: SocketAddr, clients: usize, lines: &[String]) -> Measurement {
+    let mut chunks: Vec<Vec<String>> = (0..clients).map(|_| Vec::new()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        chunks[i % clients].push(line.clone());
+    }
+    let t0 = Instant::now();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| thread::spawn(move || drive(addr, chunk)))
+        .collect();
+    let total: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .sum();
+    let m = Measurement {
+        name: name.to_string(),
+        iters: 1,
+        best: t0.elapsed(),
+        elements: Some(total as u64),
+    };
+    println!("{}", m.report());
+    m
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let handle = serve::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.tcp_addr().expect("tcp bound");
+    let service = Arc::clone(handle.service());
+
+    println!("{:<44}{:>22}{:>19}", "benchmark", "time", "throughput");
+    let mut results = Vec::new();
+    let mut derived: Vec<(String, f64)> = Vec::new();
+    for (level, &clients) in [1usize, 8, 64].iter().enumerate() {
+        let count = (clients * if quick { 2 } else { 6 }).max(if quick { 16 } else { 96 });
+        let lines = requests(level, count);
+        let cold = phase(
+            &format!("server/cold/clients{clients}"),
+            addr,
+            clients,
+            &lines,
+        );
+        let warm = phase(
+            &format!("server/warm/clients{clients}"),
+            addr,
+            clients,
+            &lines,
+        );
+        if let (Some(c), Some(w)) = (cold.per_sec(), warm.per_sec()) {
+            derived.push((format!("warm_speedup_{clients}"), w / c));
+        }
+        results.extend([cold, warm]);
+    }
+
+    let (p50, p99) = service.stats.latency_percentiles();
+    derived.push(("p50_us".to_string(), p50 as f64));
+    derived.push(("p99_us".to_string(), p99 as f64));
+    derived.push(("cache_entries".to_string(), service.entries() as f64));
+    handle.request_shutdown();
+    handle.wait();
+
+    println!("\nderived (warm hits vs cold planning):");
+    for (k, v) in &derived {
+        println!("  {k:<42}{v:>10.2}");
+    }
+
+    let json = to_json("server", &results, &derived);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

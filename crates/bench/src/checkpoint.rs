@@ -14,16 +14,16 @@
 //! checks a checkpoint from the command line.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::fs::File;
+use std::io::Read;
 use std::path::Path;
-use std::sync::Mutex;
 
 use tiling3d_core::Transform;
-use tiling3d_obs::json::{self, Json};
+use tiling3d_obs::json::Json;
 use tiling3d_obs::validate::{self, TraceReport};
 use tiling3d_stencil::kernels::Kernel;
 
+use crate::jsonl::JsonlLog;
 use crate::SweepConfig;
 
 /// The checked-in golden schema for checkpoint files.
@@ -118,11 +118,11 @@ impl PointRecord {
 
 /// An open checkpoint log: the points restored at open time plus an
 /// append handle for newly completed ones. Shared by worker threads
-/// through the internal mutex.
+/// through the underlying [`JsonlLog`]'s mutex.
 #[derive(Debug)]
 pub struct CheckpointLog {
     restored: BTreeMap<String, PointRecord>,
-    writer: Mutex<BufWriter<File>>,
+    log: JsonlLog,
 }
 
 impl CheckpointLog {
@@ -130,40 +130,37 @@ impl CheckpointLog {
     ///
     /// Without `resume` the file is created (truncating any previous
     /// content) and a header carrying `fingerprint` is written. With
-    /// `resume`, an existing file is reloaded first: the header must match
-    /// `fingerprint` exactly, completed points are restored (last record
-    /// wins on duplicates), and a corrupt **final** line — the signature
-    /// of a kill mid-write — is dropped with a warning; corruption
-    /// anywhere else is a hard error. A missing file under `resume`
-    /// degrades to a fresh start.
+    /// `resume`, an existing file is reloaded first under [`JsonlLog`]'s
+    /// rules — fingerprint enforced, corrupt final line dropped, mid-file
+    /// corruption fatal, missing file degrades to a fresh start — and
+    /// completed points are restored (last record wins on duplicates).
     pub fn open(path: &Path, fingerprint: &str, resume: bool) -> Result<CheckpointLog, String> {
+        let log = JsonlLog::open(
+            path,
+            "checkpoint",
+            "sweep_header",
+            fingerprint,
+            VERSION,
+            resume,
+        )?;
         let mut restored = BTreeMap::new();
-        let exists = path.exists();
-        if resume && exists {
-            restored = load(path, fingerprint)?;
+        for (lineno, v) in log.restored() {
+            match v.get("ev").and_then(Json::as_str) {
+                Some("point") => {
+                    let rec = PointRecord::parse(v).map_err(|e| {
+                        format!("checkpoint {}: line {lineno}: {e}", path.display())
+                    })?;
+                    restored.insert(rec.key.clone(), rec);
+                }
+                other => {
+                    return Err(format!(
+                        "checkpoint {}: line {lineno}: unknown event {other:?}",
+                        path.display()
+                    ))
+                }
+            }
         }
-        let fresh = !resume || !exists;
-        let file = OpenOptions::new()
-            .create(true)
-            .append(!fresh)
-            .write(true)
-            .truncate(fresh)
-            .open(path)
-            .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
-        let log = CheckpointLog {
-            restored,
-            writer: Mutex::new(BufWriter::new(file)),
-        };
-        if fresh {
-            let header = Json::obj(vec![
-                ("config", Json::str(fingerprint)),
-                ("ev", Json::str("sweep_header")),
-                ("version", Json::uint(VERSION)),
-            ])
-            .render();
-            log.append_line(&header)?;
-        }
-        Ok(log)
+        Ok(CheckpointLog { restored, log })
     }
 
     /// The points restored at open time (empty for a fresh log).
@@ -174,78 +171,8 @@ impl CheckpointLog {
     /// Appends one completed point and flushes, so the record survives a
     /// kill immediately after.
     pub fn record(&self, rec: &PointRecord) -> Result<(), String> {
-        self.append_line(&rec.render())
+        self.log.append_line(&rec.render())
     }
-
-    fn append_line(&self, line: &str) -> Result<(), String> {
-        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
-        writeln!(w, "{line}")
-            .and_then(|()| w.flush())
-            .map_err(|e| format!("checkpoint write failed: {e}"))
-    }
-}
-
-/// Reloads `path`, enforcing the header fingerprint and tolerating a
-/// corrupt final line.
-fn load(path: &Path, fingerprint: &str) -> Result<BTreeMap<String, PointRecord>, String> {
-    let mut text = String::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
-    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-    let mut restored = BTreeMap::new();
-    let mut header_seen = false;
-    for (idx, line) in lines.iter().enumerate() {
-        let parsed = json::parse(line);
-        let v = match parsed {
-            Ok(v) => v,
-            Err(e) if idx + 1 == lines.len() => {
-                tiling3d_obs::error(&format!(
-                    "checkpoint {}: dropping corrupt final line (interrupted write): {e}",
-                    path.display()
-                ));
-                continue;
-            }
-            Err(e) => {
-                return Err(format!(
-                    "checkpoint {}: line {}: {e}",
-                    path.display(),
-                    idx + 1
-                ))
-            }
-        };
-        match v.get("ev").and_then(Json::as_str) {
-            Some("sweep_header") => {
-                let cfg = v.get("config").and_then(Json::as_str).unwrap_or("");
-                if cfg != fingerprint {
-                    return Err(format!(
-                        "checkpoint {}: sweep fingerprint mismatch\n  checkpoint: {cfg}\n  this run:   {fingerprint}",
-                        path.display()
-                    ));
-                }
-                header_seen = true;
-            }
-            Some("point") => {
-                let rec = PointRecord::parse(&v)
-                    .map_err(|e| format!("checkpoint {}: line {}: {e}", path.display(), idx + 1))?;
-                restored.insert(rec.key.clone(), rec);
-            }
-            other => {
-                return Err(format!(
-                    "checkpoint {}: line {}: unknown event {other:?}",
-                    path.display(),
-                    idx + 1
-                ))
-            }
-        }
-    }
-    if !header_seen {
-        return Err(format!(
-            "checkpoint {}: missing sweep_header (not a checkpoint file?)",
-            path.display()
-        ));
-    }
-    Ok(restored)
 }
 
 /// Validates a checkpoint file against the golden schema — parseability
@@ -262,6 +189,8 @@ pub fn validate_file(path: &Path) -> Result<TraceReport, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("tiling3d-ckpt-tests");

@@ -1,0 +1,182 @@
+//! A generic fingerprinted JSONL log: the append-only, crash-tolerant
+//! file format shared by sweep checkpoints ([`crate::checkpoint`]) and the
+//! planning server's warm-start cache (`serve`).
+//!
+//! Layout: a header line `{"config": FP, "ev": HEADER_EV, "version": V}`
+//! followed by one event object per line, each flushed as written so a
+//! `SIGKILL` loses at most the line in flight. Reload rules:
+//!
+//! * the header's `config` must equal the caller's fingerprint exactly —
+//!   restored records from a different experiment are a hard error;
+//! * a corrupt **final** line (the signature of a kill mid-write) is
+//!   dropped with a warning; corruption anywhere else is fatal;
+//! * a missing file under `resume` degrades to a fresh start.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use tiling3d_obs::json::{self, Json};
+
+/// An open JSONL log: events restored at open time plus a shared append
+/// handle (worker threads append through the internal mutex).
+#[derive(Debug)]
+pub struct JsonlLog {
+    restored: Vec<(usize, Json)>,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlLog {
+    /// Opens the log at `path`.
+    ///
+    /// Without `resume` the file is created (truncating any previous
+    /// content) and a fresh header carrying `fingerprint` is written.
+    /// With `resume`, an existing file is reloaded first under the rules
+    /// in the module docs; the restored events (header excluded) are
+    /// available through [`JsonlLog::restored`] with their 1-based line
+    /// numbers. `label` names the file kind in error messages
+    /// (`"checkpoint"`, `"warm-start"`).
+    pub fn open(
+        path: &Path,
+        label: &str,
+        header_ev: &str,
+        fingerprint: &str,
+        version: u64,
+        resume: bool,
+    ) -> Result<JsonlLog, String> {
+        let exists = path.exists();
+        let restored = if resume && exists {
+            load(path, label, header_ev, fingerprint)?
+        } else {
+            Vec::new()
+        };
+        let fresh = !resume || !exists;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(!fresh)
+            .write(true)
+            .truncate(fresh)
+            .open(path)
+            .map_err(|e| format!("{label} {}: {e}", path.display()))?;
+        let log = JsonlLog {
+            restored,
+            writer: Mutex::new(BufWriter::new(file)),
+        };
+        if fresh {
+            let header = Json::obj(vec![
+                ("config", Json::str(fingerprint)),
+                ("ev", Json::str(header_ev)),
+                ("version", Json::uint(version)),
+            ])
+            .render();
+            log.append_line(&header)?;
+        }
+        Ok(log)
+    }
+
+    /// The non-header events restored at open time, with their 1-based
+    /// line numbers (empty for a fresh log).
+    pub fn restored(&self) -> &[(usize, Json)] {
+        &self.restored
+    }
+
+    /// Appends one pre-rendered JSONL line and flushes, so the record
+    /// survives a kill immediately after.
+    pub fn append_line(&self, line: &str) -> Result<(), String> {
+        let mut w = self.writer.lock().expect("jsonl writer poisoned");
+        writeln!(w, "{line}")
+            .and_then(|()| w.flush())
+            .map_err(|e| format!("jsonl write failed: {e}"))
+    }
+}
+
+/// Reloads `path`, enforcing the header fingerprint and tolerating a
+/// corrupt final line.
+fn load(
+    path: &Path,
+    label: &str,
+    header_ev: &str,
+    fingerprint: &str,
+) -> Result<Vec<(usize, Json)>, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("{label} {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut restored = Vec::new();
+    let mut header_seen = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) if idx + 1 == lines.len() => {
+                tiling3d_obs::error(&format!(
+                    "{label} {}: dropping corrupt final line (interrupted write): {e}",
+                    path.display()
+                ));
+                continue;
+            }
+            Err(e) => return Err(format!("{label} {}: line {}: {e}", path.display(), idx + 1)),
+        };
+        if v.get("ev").and_then(Json::as_str) == Some(header_ev) {
+            let cfg = v.get("config").and_then(Json::as_str).unwrap_or("");
+            if cfg != fingerprint {
+                return Err(format!(
+                    "{label} {}: fingerprint mismatch\n  file:     {cfg}\n  this run: {fingerprint}",
+                    path.display()
+                ));
+            }
+            header_seen = true;
+        } else {
+            restored.push((idx + 1, v));
+        }
+    }
+    if !header_seen {
+        return Err(format!(
+            "{label} {}: missing {header_ev} (not a {label} file?)",
+            path.display()
+        ));
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tiling3d-jsonl-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn header_and_events_round_trip_with_line_numbers() {
+        let path = tmp("generic.jsonl");
+        {
+            let log = JsonlLog::open(&path, "demo", "demo_header", "fp-1", 3, false).unwrap();
+            log.append_line("{\"ev\":\"thing\",\"k\":\"a\"}").unwrap();
+            log.append_line("{\"ev\":\"thing\",\"k\":\"b\"}").unwrap();
+        }
+        let log = JsonlLog::open(&path, "demo", "demo_header", "fp-1", 3, true).unwrap();
+        let keys: Vec<_> = log
+            .restored()
+            .iter()
+            .map(|(ln, v)| (*ln, v.get("k").and_then(Json::as_str).unwrap().to_string()))
+            .collect();
+        assert_eq!(keys, vec![(2, "a".to_string()), (3, "b".to_string())]);
+        drop(log);
+        let err = JsonlLog::open(&path, "demo", "demo_header", "fp-2", 3, true).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let path = tmp("headerless.jsonl");
+        std::fs::write(&path, "{\"ev\":\"thing\"}\n").unwrap();
+        let err = JsonlLog::open(&path, "demo", "demo_header", "fp", 1, true).unwrap_err();
+        assert!(err.contains("missing demo_header"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

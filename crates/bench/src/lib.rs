@@ -23,9 +23,11 @@
 
 pub mod checkpoint;
 pub mod fault;
+pub mod jsonl;
 pub mod microbench;
 pub mod plot;
 pub mod pool;
+pub mod serve;
 pub mod supervise;
 
 use std::path::PathBuf;

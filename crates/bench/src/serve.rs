@@ -1,0 +1,640 @@
+//! Plan-as-a-service: the memoized concurrent planning server behind
+//! `tiling3d serve`.
+//!
+//! A long-running, std-only server answering "best certified plan for
+//! `(kernel, dims, cache geometry, steps)`" over newline-delimited JSON on
+//! TCP and/or a unix socket (DESIGN.md §16). Core pieces:
+//!
+//! * a **sharded in-memory plan cache** keyed on the canonicalized
+//!   [`PlanRequest`] (`PlanRequest::cache_key`), one mutex per shard so
+//!   concurrent clients on different keys never contend;
+//! * a **persistent warm-start file** in the fingerprinted JSONL format of
+//!   [`crate::jsonl::JsonlLog`] (header + torn-tail tolerance, shared with
+//!   the sweep checkpoints): every cache miss appends one `cached_plan`
+//!   line, and a restart with `resume` re-serves the exact stored bytes;
+//! * a **batch endpoint** (send a JSON array of requests, get one
+//!   `batch_response` line);
+//! * an optional **measured-A/B autotune** path (`"autotune": true`) that
+//!   augments the static `missmodel`-ranked plan table with a timed
+//!   row-engine run per transform;
+//! * **obs instrumentation**: `serve.hit`/`serve.miss` counters, a span
+//!   per request, and p50/p99 latency gauges refreshed on `stats`.
+//!
+//! Responses are memoized as rendered bytes and the response envelope
+//! carries no volatile fields, so cold and warm servings of the same key —
+//! across threads, connections, transports, and restarts — are
+//! byte-identical (proven by `tests/serve.rs` and the CI `serve` job).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use tiling3d_core::api::{self, PlanQuery, PlanRequest, PlanResponse, ReqStencil, API_VERSION};
+use tiling3d_obs as obs;
+use tiling3d_obs::json::{self, Json};
+use tiling3d_stencil::kernels::Kernel;
+
+use crate::jsonl::JsonlLog;
+use crate::pool::SimPool;
+
+/// The warm-start file's fingerprint: any layout change to the cached
+/// payloads goes through [`API_VERSION`], which invalidates old files.
+pub fn warm_fingerprint() -> String {
+    format!("tiling3d-serve:v{API_VERSION}")
+}
+
+/// Aggregate service counters (lock-free except the latency reservoir).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Single plan requests handled (batch members included).
+    pub requests: AtomicU64,
+    /// Requests answered from the cache.
+    pub hits: AtomicU64,
+    /// Requests that had to plan.
+    pub misses: AtomicU64,
+    /// Error replies issued.
+    pub errors: AtomicU64,
+    /// Batch lines handled.
+    pub batches: AtomicU64,
+    latency_us: Mutex<Vec<u64>>,
+}
+
+/// Cap on the latency reservoir; beyond it new samples are dropped (the
+/// percentiles have long since converged).
+const LATENCY_CAP: usize = 1 << 20;
+
+impl ServiceStats {
+    fn record_latency(&self, us: u64) {
+        let mut v = self.latency_us.lock().expect("latency lock poisoned");
+        if v.len() < LATENCY_CAP {
+            v.push(us);
+        }
+    }
+
+    /// `(p50, p99)` request latency in microseconds (0 before any request).
+    pub fn latency_percentiles(&self) -> (u64, u64) {
+        let mut v = self
+            .latency_us
+            .lock()
+            .expect("latency lock poisoned")
+            .clone();
+        if v.is_empty() {
+            return (0, 0);
+        }
+        v.sort_unstable();
+        let pick = |p: usize| v[(v.len() - 1) * p / 100];
+        (pick(50), pick(99))
+    }
+}
+
+/// One handled input line: either a reply to send, or a reply after which
+/// the connection must initiate server shutdown.
+#[derive(Debug)]
+pub enum Handled {
+    /// Write this line back to the client.
+    Reply(String),
+    /// Write this line back, then stop the server.
+    Shutdown(String),
+}
+
+impl Handled {
+    /// The reply line regardless of control effect.
+    pub fn reply(&self) -> &str {
+        match self {
+            Handled::Reply(s) | Handled::Shutdown(s) => s,
+        }
+    }
+}
+
+/// The transport-independent planning service: the sharded cache, the
+/// warm-start log, and the line dispatcher. [`start`] wraps it in TCP and
+/// unix-socket accept loops; tests can drive [`PlanService::handle_line`]
+/// directly.
+#[derive(Debug)]
+pub struct PlanService {
+    shards: Vec<Mutex<HashMap<String, Arc<str>>>>,
+    warm: Option<JsonlLog>,
+    /// Aggregate counters.
+    pub stats: ServiceStats,
+}
+
+impl PlanService {
+    /// Opens the service with `shards` cache shards (0 = one per core,
+    /// following [`SimPool`]'s convention) and, when `warm` names a path,
+    /// a persistent warm-start file. With `resume`, an existing file is
+    /// reloaded (fingerprint enforced, torn tail tolerated) and its
+    /// entries are served as cache hits without re-planning.
+    pub fn open(shards: usize, warm: Option<&Path>, resume: bool) -> Result<PlanService, String> {
+        let shards = if shards == 0 {
+            SimPool::new(0).jobs()
+        } else {
+            shards
+        };
+        let mut maps: Vec<HashMap<String, Arc<str>>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        let warm = match warm {
+            None => None,
+            Some(path) => {
+                let log = JsonlLog::open(
+                    path,
+                    "warm-start",
+                    "serve_header",
+                    &warm_fingerprint(),
+                    u64::from(API_VERSION),
+                    resume,
+                )?;
+                for (lineno, v) in log.restored() {
+                    let (key, payload) = match (
+                        v.get("ev").and_then(Json::as_str),
+                        v.get("key").and_then(Json::as_str),
+                        v.get("payload").and_then(Json::as_str),
+                    ) {
+                        (Some("cached_plan"), Some(k), Some(p)) => (k, p),
+                        _ => {
+                            return Err(format!(
+                                "warm-start {}: line {lineno}: not a cached_plan record",
+                                path.display()
+                            ))
+                        }
+                    };
+                    maps[api::shard_of_key(key, shards)]
+                        .insert(key.to_string(), Arc::from(payload));
+                }
+                Some(log)
+            }
+        };
+        Ok(PlanService {
+            shards: maps.into_iter().map(Mutex::new).collect(),
+            warm,
+            stats: ServiceStats::default(),
+        })
+    }
+
+    /// Shard count (fixed at open time).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cached entries across all shards.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Dispatches one wire line (DESIGN.md §16): a control command
+    /// (`{"cmd": "ping" | "stats" | "shutdown"}`), a batch (JSON array of
+    /// requests), or a single request object. Never panics on client
+    /// input; malformed lines get an `error` reply.
+    pub fn handle_line(&self, line: &str) -> Handled {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return Handled::Reply(self.error_reply(format!("bad request line: {e}"))),
+        };
+        match &v {
+            Json::Arr(items) => {
+                self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                let results: Vec<String> =
+                    items.iter().map(|item| self.handle_request(item)).collect();
+                // Assembled from the cached reply strings verbatim, so
+                // batch members are byte-identical to single servings.
+                Handled::Reply(format!(
+                    "{{\"ev\":\"batch_response\",\"count\":{},\"results\":[{}]}}",
+                    results.len(),
+                    results.join(",")
+                ))
+            }
+            Json::Obj(_) => match v.get("cmd").and_then(Json::as_str) {
+                Some("ping") => Handled::Reply("{\"ev\":\"pong\"}".to_string()),
+                Some("stats") => Handled::Reply(self.stats_reply()),
+                Some("shutdown") => Handled::Shutdown("{\"ev\":\"shutdown\"}".to_string()),
+                Some(other) => Handled::Reply(
+                    self.error_reply(format!("unknown cmd '{other}' (ping, stats, shutdown)")),
+                ),
+                None => Handled::Reply(self.handle_request(&v)),
+            },
+            _ => Handled::Reply(
+                self.error_reply("request must be an object or an array of objects".to_string()),
+            ),
+        }
+    }
+
+    /// Answers one request object: canonicalize, consult the shard, plan
+    /// on miss, memoize the rendered bytes, append to the warm-start log.
+    fn handle_request(&self, v: &Json) -> String {
+        let _span = obs::span("serve:request");
+        let t0 = Instant::now();
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let reply = match self.answer(v) {
+            Ok(reply) => reply,
+            Err(e) => self.error_reply(e),
+        };
+        self.stats
+            .record_latency(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        reply
+    }
+
+    fn answer(&self, v: &Json) -> Result<String, String> {
+        let req = PlanRequest::from_json(v)?;
+        let autotune = matches!(v.get("autotune"), Some(Json::Bool(true)));
+        let key = if autotune {
+            // The measured run depends on nk, which the plan query's
+            // canonical key drops — keep it in the derived key.
+            format!("{}|tuned|nk{}", req.cache_key(), req.nk)
+        } else {
+            req.cache_key()
+        };
+        let shard = &self.shards[api::shard_of_key(&key, self.shards.len())];
+        if let Some(cached) = shard.lock().expect("shard lock poisoned").get(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            obs::counter_add("serve.hit", 1);
+            return Ok(cached.to_string());
+        }
+        // Plan outside the shard lock: concurrent misses on one key race
+        // benignly and first-wins below keeps later servings identical.
+        let reply = if autotune {
+            autotune_envelope(&req, &key)?
+        } else {
+            api::respond_enveloped(&req)?
+        };
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("serve.miss", 1);
+        let mut map = shard.lock().expect("shard lock poisoned");
+        match map.entry(key.clone()) {
+            Entry::Occupied(e) => Ok(e.get().to_string()),
+            Entry::Vacant(e) => {
+                e.insert(Arc::from(reply.as_str()));
+                drop(map);
+                if let Some(warm) = &self.warm {
+                    warm.append_line(
+                        &Json::obj(vec![
+                            ("ev", Json::str("cached_plan")),
+                            ("key", Json::str(key)),
+                            ("payload", Json::str(reply.as_str())),
+                        ])
+                        .render(),
+                    )?;
+                }
+                Ok(reply)
+            }
+        }
+    }
+
+    fn error_reply(&self, message: String) -> String {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        Json::obj(vec![
+            ("ev", Json::str("error")),
+            ("message", Json::str(message)),
+        ])
+        .render()
+    }
+
+    fn stats_reply(&self) -> String {
+        let (p50, p99) = self.stats.latency_percentiles();
+        obs::gauge_set("serve.p50_us", p50 as f64);
+        obs::gauge_set("serve.p99_us", p99 as f64);
+        let c = |a: &AtomicU64| Json::uint(a.load(Ordering::Relaxed));
+        Json::obj(vec![
+            ("ev", Json::str("stats")),
+            ("requests", c(&self.stats.requests)),
+            ("hits", c(&self.stats.hits)),
+            ("misses", c(&self.stats.misses)),
+            ("errors", c(&self.stats.errors)),
+            ("batches", c(&self.stats.batches)),
+            ("entries", Json::uint(self.entries() as u64)),
+            ("shards", Json::uint(self.shards.len() as u64)),
+            ("p50_us", Json::uint(p50)),
+            ("p99_us", Json::uint(p99)),
+        ])
+        .render()
+    }
+}
+
+/// The measured-A/B autotune path: plan as usual, then time one row-engine
+/// sweep per transform and report modeled-vs-measured winners alongside
+/// the static table. Bounded to modest problems so a stray request cannot
+/// pin the server: `di == dj <= 512`, `3 <= nk <= 64`.
+fn autotune_envelope(req: &PlanRequest, key: &str) -> Result<String, String> {
+    if req.query != PlanQuery::Plan {
+        return Err("autotune requires query 'plan'".to_string());
+    }
+    if req.di != req.dj || req.di < 8 || req.di > 512 {
+        return Err("autotune requires square dims with 8 <= n <= 512".to_string());
+    }
+    if !(3..=64).contains(&req.nk) {
+        return Err("autotune requires 3 <= nk <= 64".to_string());
+    }
+    let kernel = match req.stencil {
+        ReqStencil::Jacobi3d => Kernel::Jacobi,
+        ReqStencil::RedBlack | ReqStencil::RedBlackNaive => Kernel::RedBlack,
+        ReqStencil::Resid => Kernel::Resid,
+        ReqStencil::Jacobi2d => return Err("autotune has no 2D row engine".to_string()),
+    };
+    let resp = api::respond(req)?;
+    let PlanResponse::Plans(table) = &resp else {
+        return Err("autotune requires query 'plan'".to_string());
+    };
+    let flops = kernel.sweep_flops(req.di, req.nk) as f64;
+    let mut measured = Vec::new();
+    let mut best_measured: Option<(&'static str, f64)> = None;
+    for row in &table.rows {
+        let mut state = kernel.make_state(req.di, req.nk, row, 1);
+        kernel.run(&mut state, row.tile); // warm the arrays and the cache
+        let t0 = Instant::now();
+        kernel.run(&mut state, row.tile);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let mflops = flops / secs / 1e6;
+        if best_measured.is_none_or(|(_, best)| mflops > best) {
+            best_measured = Some((row.transform.name(), mflops));
+        }
+        measured.push(Json::obj(vec![
+            ("transform", Json::str(row.transform.name())),
+            ("mflops", Json::Num((mflops * 10.0).round() / 10.0)),
+        ]));
+    }
+    let best_modeled = table
+        .rows
+        .iter()
+        .filter(|r| r.cost.is_finite())
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .map_or("Orig", |r| r.transform.name());
+    let tune = Json::obj(vec![
+        ("measured", Json::Arr(measured)),
+        ("best_modeled", Json::str(best_modeled)),
+        (
+            "best_measured",
+            Json::str(best_measured.map_or("Orig", |(t, _)| t)),
+        ),
+    ]);
+    let mut payload = resp.to_json();
+    let Json::Obj(fields) = &mut payload else {
+        unreachable!("responses render as objects");
+    };
+    fields.push(("autotune".to_string(), tune));
+    Ok(format!(
+        "{{\"ev\":\"response\",\"key\":{},\"query\":{},\"result\":{}}}",
+        Json::str(key).render(),
+        Json::str(req.query.token()).render(),
+        payload.render()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// Server configuration for [`start`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfig {
+    /// TCP listen address (e.g. `127.0.0.1:7070`; port 0 picks a free
+    /// one). `None` disables TCP.
+    pub tcp: Option<String>,
+    /// Unix socket path (a stale file at the path is replaced).
+    pub unix: Option<PathBuf>,
+    /// Warm-start cache file.
+    pub warm: Option<PathBuf>,
+    /// Reload an existing warm-start file instead of truncating it.
+    pub resume: bool,
+    /// Cache shards (0 = one per core).
+    pub shards: usize,
+}
+
+struct Shared {
+    service: Arc<PlanService>,
+    stop: Arc<AtomicBool>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Shared {
+    /// Wakes the blocking accept loops so they observe the stop flag.
+    fn poke(&self) {
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+/// A running server: its service handle plus the accept threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The underlying service (for stats after shutdown).
+    pub fn service(&self) -> &Arc<PlanService> {
+        &self.shared.service
+    }
+
+    /// The bound TCP address, when TCP is enabled (resolves port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.shared.tcp_addr
+    }
+
+    /// The bound unix socket path, when enabled.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.shared.unix_path.as_deref()
+    }
+
+    /// Initiates shutdown from the server side (a client `shutdown`
+    /// command has the same effect).
+    pub fn request_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.poke();
+    }
+
+    /// Blocks until every accept loop has exited, then removes the unix
+    /// socket file.
+    pub fn wait(self) {
+        for h in self.accept {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.shared.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Starts the server: binds the configured transports and spawns one
+/// accept thread per transport plus one detached thread per connection.
+pub fn start(cfg: ServeConfig) -> Result<ServerHandle, String> {
+    if cfg.tcp.is_none() && cfg.unix.is_none() {
+        return Err("serve: need at least one of a TCP address or a unix socket path".to_string());
+    }
+    let service = Arc::new(PlanService::open(
+        cfg.shards,
+        cfg.warm.as_deref(),
+        cfg.resume,
+    )?);
+    let tcp = match &cfg.tcp {
+        None => None,
+        Some(addr) => {
+            Some(TcpListener::bind(addr).map_err(|e| format!("serve: bind {addr}: {e}"))?)
+        }
+    };
+    let unix = match &cfg.unix {
+        None => None,
+        Some(path) => {
+            // A stale socket file from a previous run refuses the bind.
+            let _ = std::fs::remove_file(path);
+            Some(
+                UnixListener::bind(path)
+                    .map_err(|e| format!("serve: bind {}: {e}", path.display()))?,
+            )
+        }
+    };
+    let shared = Arc::new(Shared {
+        service,
+        stop: Arc::new(AtomicBool::new(false)),
+        tcp_addr: tcp.as_ref().and_then(|l| l.local_addr().ok()),
+        unix_path: cfg.unix,
+    });
+    let mut accept = Vec::new();
+    if let Some(listener) = tcp {
+        let shared = Arc::clone(&shared);
+        accept.push(thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Replies are single short lines written whole; Nagle's
+                // algorithm would otherwise stall them behind delayed ACKs.
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    if let Ok(writer) = stream.try_clone() {
+                        serve_connection(&shared, BufReader::new(stream), writer);
+                    }
+                });
+            }
+        }));
+    }
+    if let Some(listener) = unix {
+        let shared = Arc::clone(&shared);
+        accept.push(thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    if let Ok(writer) = stream.try_clone() {
+                        serve_connection(&shared, BufReader::new(stream), writer);
+                    }
+                });
+            }
+        }));
+    }
+    Ok(ServerHandle { shared, accept })
+}
+
+/// Serves one connection: one reply line per request line, flushed per
+/// reply. A `shutdown` command stops the whole server after the reply.
+fn serve_connection<R: BufRead, W: Write>(shared: &Shared, reader: R, mut writer: W) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = shared.service.handle_line(&line);
+        // One write_all per reply: a single syscall and a single packet.
+        let mut buf = String::with_capacity(handled.reply().len() + 1);
+        buf.push_str(handled.reply());
+        buf.push('\n');
+        let ok = writer
+            .write_all(buf.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_ok();
+        if let Handled::Shutdown(_) = handled {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.poke();
+            return;
+        }
+        if !ok {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_covers_commands_batches_and_errors() {
+        let svc = PlanService::open(4, None, false).unwrap();
+        assert_eq!(
+            svc.handle_line("{\"cmd\":\"ping\"}").reply(),
+            "{\"ev\":\"pong\"}"
+        );
+        assert!(matches!(
+            svc.handle_line("{\"cmd\":\"shutdown\"}"),
+            Handled::Shutdown(_)
+        ));
+        let err = svc.handle_line("not json").reply().to_string();
+        assert!(err.starts_with("{\"ev\":\"error\""), "{err}");
+        let r1 = svc
+            .handle_line("{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":200}")
+            .reply()
+            .to_string();
+        let batch = svc
+            .handle_line("[{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":200}]")
+            .reply()
+            .to_string();
+        assert!(batch.contains(&r1), "batch member must be the cached bytes");
+        let stats = svc.handle_line("{\"cmd\":\"stats\"}").reply().to_string();
+        let v = json::parse(&stats).unwrap();
+        assert_eq!(v.get("hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("misses").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(v.get("entries").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn repeated_requests_hit_and_are_byte_identical() {
+        let svc = PlanService::open(0, None, false).unwrap();
+        let line = "{\"query\":\"locality\",\"kernel\":\"jacobi\",\"n\":64,\"nk\":8}";
+        let a = svc.handle_line(line).reply().to_string();
+        // A differently-spelled equivalent request must hit the same entry.
+        let b = svc
+            .handle_line("{\"nk\":8,\"n\":64,\"kernel\":\"jacobi\",\"query\":\"locality\"}")
+            .reply()
+            .to_string();
+        assert_eq!(a, b);
+        assert_eq!(svc.stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.stats.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn autotune_augments_the_plan_payload() {
+        let svc = PlanService::open(1, None, false).unwrap();
+        let line =
+            "{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":64,\"nk\":8,\"autotune\":true}";
+        let r = svc.handle_line(line).reply().to_string();
+        let v = json::parse(&r).unwrap();
+        let result = v.get("result").expect("envelope has result");
+        let tune = result.get("autotune").expect("autotune section");
+        assert!(tune.get("best_measured").is_some());
+        assert!(v
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("|tuned|nk8"));
+        // The measured numbers are volatile, but the cached bytes are not:
+        // a repeat serving is byte-identical because it hits.
+        assert_eq!(svc.handle_line(line).reply(), r);
+    }
+}

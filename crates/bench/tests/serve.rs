@@ -1,0 +1,219 @@
+//! Integration tests for the planning server (DESIGN.md §16): concurrent
+//! bit-identity, warm-start persistence across a kill-and-restart, the
+//! batch endpoint, and the unix-socket transport.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::thread;
+
+use tiling3d_bench::serve::{self, PlanService, ServeConfig};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tiling3d-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// One round trip on an already-connected stream.
+fn roundtrip<S: std::io::Read + Write>(stream: &mut S, line: &str) -> String {
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reply = String::new();
+    // A fresh BufReader per call would swallow buffered bytes; callers in
+    // these tests send one line per call, so read_line directly.
+    let mut reader = BufReader::new(stream);
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.ends_with('\n'), "reply not newline-terminated");
+    reply.trim_end().to_string()
+}
+
+/// A spread of distinct requests across query kinds and sizes.
+fn request_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for n in [48usize, 96, 200] {
+        lines.push(format!(
+            "{{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":{n}}}"
+        ));
+        lines.push(format!(
+            "{{\"query\":\"advise\",\"stencil\":\"jacobi3d\",\"n\":{n}}}"
+        ));
+        lines.push(format!(
+            "{{\"query\":\"legality\",\"kernel\":\"redblack\",\"n\":{n}}}"
+        ));
+    }
+    lines.push("{\"query\":\"euc3d\",\"stencil\":\"jacobi3d\",\"n\":341}".to_string());
+    lines.push("{\"query\":\"temporal-legality\",\"kernel\":\"jacobi\"}".to_string());
+    lines.push("{\"query\":\"locality\",\"kernel\":\"jacobi\",\"n\":48,\"nk\":6}".to_string());
+    lines
+}
+
+/// Ground truth: a fresh single-threaded cold-cache service answering the
+/// same lines.
+fn cold_answers(lines: &[String]) -> Vec<String> {
+    let svc = PlanService::open(1, None, false).unwrap();
+    lines
+        .iter()
+        .map(|l| svc.handle_line(l).reply().to_string())
+        .collect()
+}
+
+#[test]
+fn eight_concurrent_clients_get_bit_identical_answers() {
+    let lines = request_lines();
+    let expected = cold_answers(&lines);
+    let handle = serve::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // 8 clients, each sending every request in a different rotation so
+    // hits and misses interleave across threads and shards.
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let lines = lines.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.set_nodelay(true).unwrap();
+                for i in 0..lines.len() {
+                    let idx = (i + w * 3) % lines.len();
+                    let reply = roundtrip(&mut stream, &lines[idx]);
+                    assert_eq!(
+                        reply, expected[idx],
+                        "concurrent serving of {} diverged from the cold answer",
+                        lines[idx]
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let stats = &handle.service().stats;
+    let hits = stats.hits.load(std::sync::atomic::Ordering::Relaxed);
+    let misses = stats.misses.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(hits + misses, 8 * lines.len() as u64);
+    // Benign same-key races may plan twice, but memoization must absorb
+    // the vast majority of the 8x duplication.
+    assert!(hits > misses, "hits {hits} <= misses {misses}");
+    handle.request_shutdown();
+    handle.wait();
+}
+
+#[test]
+fn warm_start_survives_a_kill_and_restart_byte_exactly() {
+    let warm = tmp("warm.jsonl");
+    std::fs::remove_file(&warm).ok();
+    let lines = request_lines();
+
+    // First life: cold server, every answer misses and is persisted.
+    let first: Vec<String> = {
+        let svc = PlanService::open(2, Some(&warm), false).unwrap();
+        lines
+            .iter()
+            .map(|l| svc.handle_line(l).reply().to_string())
+            .collect()
+        // Dropped without any orderly shutdown: the log is flushed per
+        // line, so this models a kill.
+    };
+    let file_after_first = std::fs::read(&warm).unwrap();
+
+    // Second life: resume. Every request must hit and serve the exact
+    // stored bytes without re-planning.
+    let svc = PlanService::open(2, Some(&warm), true).unwrap();
+    assert_eq!(svc.entries(), lines.len());
+    for (line, expected) in lines.iter().zip(&first) {
+        assert_eq!(svc.handle_line(line).reply(), expected);
+    }
+    assert_eq!(
+        svc.stats.misses.load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "warm-started service must not re-plan"
+    );
+    assert_eq!(
+        svc.stats.hits.load(std::sync::atomic::Ordering::Relaxed),
+        lines.len() as u64
+    );
+    drop(svc);
+
+    // Serving hits appends nothing: the file round-trips byte-exactly.
+    assert_eq!(std::fs::read(&warm).unwrap(), file_after_first);
+    std::fs::remove_file(&warm).ok();
+}
+
+#[test]
+fn warm_start_tolerates_a_torn_tail() {
+    let warm = tmp("torn.jsonl");
+    std::fs::remove_file(&warm).ok();
+    let line = "{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":128}";
+    let expected = {
+        let svc = PlanService::open(1, Some(&warm), false).unwrap();
+        svc.handle_line(line).reply().to_string()
+    };
+    // A kill mid-append leaves a torn trailing line.
+    let mut bytes = std::fs::read(&warm).unwrap();
+    bytes.extend_from_slice(b"{\"ev\":\"cached_pl");
+    std::fs::write(&warm, &bytes).unwrap();
+
+    let svc = PlanService::open(1, Some(&warm), true).unwrap();
+    assert_eq!(svc.entries(), 1, "intact record survives the torn tail");
+    assert_eq!(svc.handle_line(line).reply(), expected);
+    assert_eq!(svc.stats.hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    std::fs::remove_file(&warm).ok();
+}
+
+#[test]
+fn batch_members_are_byte_identical_to_single_servings_over_tcp() {
+    let handle = serve::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(handle.tcp_addr().unwrap()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let a = "{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":96}";
+    let b = "{\"query\":\"advise\",\"stencil\":\"jacobi3d\",\"n\":300}";
+    let single_a = roundtrip(&mut stream, a);
+    let single_b = roundtrip(&mut stream, b);
+    let batch = roundtrip(&mut stream, &format!("[{a},{b}]"));
+    assert_eq!(
+        batch,
+        format!("{{\"ev\":\"batch_response\",\"count\":2,\"results\":[{single_a},{single_b}]}}")
+    );
+    handle.request_shutdown();
+    handle.wait();
+}
+
+#[test]
+fn unix_socket_serves_the_same_bytes_as_tcp() {
+    let sock = tmp("serve.sock");
+    std::fs::remove_file(&sock).ok();
+    let handle = serve::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        unix: Some(sock.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let line = "{\"query\":\"plan\",\"stencil\":\"redblack\",\"n\":200}";
+
+    let mut tcp = TcpStream::connect(handle.tcp_addr().unwrap()).unwrap();
+    tcp.set_nodelay(true).unwrap();
+    let via_tcp = roundtrip(&mut tcp, line);
+
+    let mut unix = UnixStream::connect(handle.unix_path().unwrap()).unwrap();
+    let via_unix = roundtrip(&mut unix, line);
+    assert_eq!(via_tcp, via_unix);
+
+    // A client shutdown command stops the server; wait() must return and
+    // remove the socket file.
+    let _ = roundtrip(&mut unix, "{\"cmd\":\"shutdown\"}");
+    handle.wait();
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}

@@ -17,7 +17,18 @@
 //! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl] [--steps T]
 //! tiling3d chaos       [--kernel jacobi] [--min 40 --max 56 --step 8 --nk 8] [--seed 42] [--faults 2] [--jobs N]
 //! tiling3d trace-check trace.jsonl [--schema schema.golden]
+//! tiling3d serve       --tcp 127.0.0.1:7070 [--socket PATH] [--warm-start FILE] [--no-resume] [--shards N]
+//! tiling3d client      REQUEST [--tcp ADDR | --socket PATH]
 //! ```
+//!
+//! `plan`, `advise` and the `analyze` family are thin adapters over the
+//! typed planning API ([`tiling3d_core::api`]): each builds one
+//! [`PlanRequest`] from its flags and renders the [`PlanResponse`] —
+//! `--format json` serializes through the exact code path the `serve`
+//! wire protocol uses, governed by the same checked-in golden schema
+//! (`crates/core/api.schema.golden`, DESIGN.md §16). `serve` runs the
+//! memoized concurrent planning server; `client` sends one wire line to
+//! it and prints the reply.
 //!
 //! `--steps T` (with `T > 0`) engages the **temporal mode** for iterated
 //! Jacobi / red-black: `plan` and `advise` pick a time-skewed `(ST, SK)`
@@ -91,23 +102,30 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use tiling3d_bench::fault::{FaultKind, FaultMode, FaultPlan};
+use tiling3d_bench::serve::{self, ServeConfig};
 use tiling3d_bench::{
     checkpoint, simulate_grid, simulate_grid_supervised, supervise, SimPoint, SimPool, SweepConfig,
     SweepError, SweepOptions,
 };
 use tiling3d_cachesim::{AccessSink, CacheConfig, Hierarchy, MmuHierarchy, Tlb};
-use tiling3d_core::legality::certificate_for;
+use tiling3d_core::api::{
+    respond, GeometryPreset, PlanQuery, PlanRequest, PlanResponse, ReqStencil, TransformSel,
+};
 use tiling3d_core::nonconflict::enumerate_array_tiles;
 use tiling3d_core::predict::{predict_tiled, predict_untiled, SweepSpec};
 use tiling3d_core::{
-    histogram, lower_bound_misses, plan, plan_temporal, plan_temporal_certified, predict_level,
-    temporal_certificate, CacheSpec, KernelModel, LevelGeometry, PlanSchedule, Problem,
-    TemporalKernel, Transform,
+    lower_bound_misses, plan, plan_temporal, predict_level, CacheSpec, KernelModel, LevelGeometry,
+    PlanSchedule, Problem, TemporalKernel, Transform,
 };
 use tiling3d_grid::{fill_random, Array3};
-use tiling3d_loopnest::{reuse, StencilShape};
 use tiling3d_obs as obs;
 use tiling3d_obs::flags::{FlagSet, FlagSpec, ParsedFlags};
 use tiling3d_obs::json::Json;
@@ -188,6 +206,16 @@ pub const COMMANDS: &[CommandDef] = &[
         flag_set: trace_check_flags,
         run: cmd_trace_check,
     },
+    CommandDef {
+        name: "serve",
+        flag_set: serve_flags,
+        run: cmd_serve,
+    },
+    CommandDef {
+        name: "client",
+        flag_set: client_flags,
+        run: cmd_client,
+    },
 ];
 
 /// Top-level usage: one line per subcommand, generated from [`COMMANDS`].
@@ -251,12 +279,43 @@ const STEPS_FLAG: FlagSpec = FlagSpec::usize(
     "iterated time steps: engage the temporal (T, K) tiling mode",
 );
 
-fn stencil(flags: &ParsedFlags) -> Result<StencilShape, String> {
+fn kernel(flags: &ParsedFlags) -> Result<Kernel, String> {
+    flags.parse_str("--kernel")
+}
+
+/// The typed API stencil named by `--stencil`.
+fn req_stencil(flags: &ParsedFlags) -> Result<ReqStencil, String> {
     flags.parse_str("--stencil")
 }
 
-fn kernel(flags: &ParsedFlags) -> Result<Kernel, String> {
-    flags.parse_str("--kernel")
+/// The typed API stencil named by `--kernel` (parsed through [`Kernel`]
+/// so unknown names keep their historical "unknown kernel" error).
+fn req_kernel(flags: &ParsedFlags) -> Result<ReqStencil, String> {
+    Ok(match kernel(flags)? {
+        Kernel::Jacobi => ReqStencil::Jacobi3d,
+        Kernel::RedBlack => ReqStencil::RedBlack,
+        Kernel::Resid => ReqStencil::Resid,
+    })
+}
+
+/// The transform coverage named by `--transform` (default: all).
+fn transform_sel(flags: &ParsedFlags) -> Result<TransformSel, String> {
+    match flags.try_str("--transform") {
+        None => Ok(TransformSel::All),
+        Some(t) if t.eq_ignore_ascii_case("all") => Ok(TransformSel::All),
+        Some(t) => Ok(TransformSel::One(t.parse()?)),
+    }
+}
+
+/// Worker count a temporal request is sized for: "all cores" resolves
+/// here so wire cache keys stay machine-independent; spatial-only
+/// requests collapse to 1 (canonicalization would anyway).
+fn request_jobs(flags: &ParsedFlags, steps: usize) -> usize {
+    if steps > 0 {
+        SimPool::new(flags.usize("--jobs")).jobs()
+    } else {
+        1
+    }
 }
 
 fn cache_spec(flags: &ParsedFlags) -> CacheSpec {
@@ -272,22 +331,6 @@ fn temporal_kernel(k: Kernel) -> Result<TemporalKernel, String> {
         Kernel::Resid => {
             Err("temporal mode supports jacobi and redblack only (resid is not iterated)".into())
         }
-    }
-}
-
-/// The iterated-kernel counterpart of a stencil shape (`plan`/`advise`
-/// speak shapes, not kernels).
-fn temporal_kernel_of_shape(shape: &StencilShape) -> Result<TemporalKernel, String> {
-    let name = shape.name();
-    if name.starts_with("jacobi3d") {
-        Ok(TemporalKernel::Jacobi)
-    } else if name.starts_with("redblack") {
-        Ok(TemporalKernel::RedBlack)
-    } else {
-        Err(format!(
-            "--steps: no iterated form for stencil '{name}' \
-             (temporal mode supports jacobi3d and redblack)"
-        ))
     }
 }
 
@@ -311,13 +354,6 @@ fn json_format(flags: &ParsedFlags) -> Result<bool, String> {
     }
 }
 
-fn tile_json(tile: Option<(usize, usize)>) -> Json {
-    match tile {
-        None => Json::Null,
-        Some((a, b)) => Json::Arr(vec![Json::uint(a as u64), Json::uint(b as u64)]),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // plan
 // ---------------------------------------------------------------------------
@@ -338,88 +374,49 @@ fn plan_flags() -> FlagSet {
 }
 
 fn cmd_plan(flags: &ParsedFlags) -> Result<String, String> {
-    let shape = stencil(flags)?;
     let (di, dj) = flags.try_pair("--dims").ok_or("plan requires --dims AxB")?;
-    let cache = cache_spec(flags);
     let steps = flags.usize("--steps");
-    let plans: Vec<_> = Transform::ALL
-        .iter()
-        .map(|&t| (t, plan(t, cache, di, dj, &shape)))
-        .collect();
-    let temporal = if steps > 0 {
-        let tk = temporal_kernel_of_shape(&shape)?;
-        let jobs = SimPool::new(flags.usize("--jobs")).jobs();
-        let cp = plan_temporal_certified(tk, cache, di * dj, steps, jobs, true)
-            .map_err(|e| e.to_string())?;
-        Some((tk, jobs, cp))
-    } else {
-        None
+    let req = PlanRequest {
+        query: PlanQuery::Plan,
+        stencil: req_stencil(flags)?,
+        di,
+        dj,
+        nk: 0,
+        cache: cache_spec(flags),
+        transforms: TransformSel::All,
+        steps,
+        jobs: request_jobs(flags, steps),
     };
+    let resp = respond(&req)?;
     if json_format(flags)? {
-        let rows = plans
-            .iter()
-            .map(|(t, p)| {
-                Json::obj(vec![
-                    ("transform", Json::str(t.name())),
-                    ("tile", tile_json(p.tile)),
-                    ("padded_di", Json::uint(p.padded_di as u64)),
-                    ("padded_dj", Json::uint(p.padded_dj as u64)),
-                    (
-                        "cost",
-                        if p.cost.is_finite() {
-                            Json::Num(p.cost)
-                        } else {
-                            Json::Null
-                        },
-                    ),
-                ])
-            })
-            .collect();
-        let mut fields = vec![
-            ("stencil", Json::str(shape.name())),
-            ("di", Json::uint(di as u64)),
-            ("dj", Json::uint(dj as u64)),
-            ("cache_elements", Json::uint(cache.elements as u64)),
-            ("plans", Json::Arr(rows)),
-        ];
-        if let Some((tk, jobs, cp)) = &temporal {
-            let p = cp.plan();
-            fields.push((
-                "temporal",
-                Json::obj(vec![
-                    ("kernel", Json::str(tk.name())),
-                    ("steps", Json::uint(steps as u64)),
-                    ("jobs", Json::uint(*jobs as u64)),
-                    ("st", Json::uint(p.st as u64)),
-                    ("sk", Json::uint(p.sk as u64)),
-                    ("working_planes", Json::uint(p.working_planes as u64)),
-                    ("legal", Json::Bool(cp.certificate().is_legal())),
-                ]),
-            ));
-        }
-        let doc = Json::obj(fields);
-        return Ok(format!("{}\n", doc.render()));
+        return Ok(format!("{}\n", resp.render()));
     }
+    let PlanResponse::Plans(r) = &resp else {
+        unreachable!("plan query answers with a plan table");
+    };
+    let shape = r.stencil.shape();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "planning for a {di}x{dj}xM array, stencil {} (m={}, n={}, ATD={}), cache {} doubles",
+        "planning for a {}x{}xM array, stencil {} (m={}, n={}, ATD={}), cache {} doubles",
+        r.di,
+        r.dj,
         shape.name(),
         shape.m(),
         shape.n(),
         shape.atd(),
-        cache.elements
+        r.cache.elements
     );
     let _ = writeln!(
         out,
         "{:<10}{:>12}{:>16}{:>12}",
         "transform", "tile", "padded dims", "model cost"
     );
-    for (t, p) in &plans {
+    for p in &r.rows {
         let _ = writeln!(
             out,
             "{:<10}{:>12}{:>16}{:>12}",
-            t.name(),
+            p.transform.name(),
             p.tile.map_or("-".into(), |(a, b)| format!("{a}x{b}")),
             format!("{}x{}", p.padded_di, p.padded_dj),
             if p.cost.is_finite() {
@@ -429,24 +426,26 @@ fn cmd_plan(flags: &ParsedFlags) -> Result<String, String> {
             },
         );
     }
-    if let Some((tk, jobs, cp)) = &temporal {
-        let p = cp.plan();
-        let ws_kb = p.working_elements(*tk, di * dj) * 8 / 1024;
+    if let Some(t) = &r.temporal {
+        let ws_kb = t.working_elements * 8 / 1024;
         let _ = writeln!(
             out,
-            "\ntemporal plan: {} x {steps} steps, {jobs} job(s) -> time tile (ST, SK) = ({}, {})",
-            tk.name(),
-            p.st,
-            p.sk
+            "\ntemporal plan: {} x {} steps, {} job(s) -> time tile (ST, SK) = ({}, {})",
+            t.kernel.name(),
+            t.steps,
+            t.jobs,
+            t.plan.st,
+            t.plan.sk
         );
-        let _ = writeln!(
-            out,
-            "  working set {} planes/buffer x {} buffer(s) = {ws_kb} KB; \
-             schedule '{}' certified legal",
-            p.working_planes,
-            tk.buffers(),
-            cp.certificate().schedule.name
-        );
+        if let Some((sched, _)) = &t.certified {
+            let _ = writeln!(
+                out,
+                "  working set {} planes/buffer x {} buffer(s) = {ws_kb} KB; \
+                 schedule '{sched}' certified legal",
+                t.plan.working_planes,
+                t.kernel.buffers(),
+            );
+        }
     }
     Ok(out)
 }
@@ -523,89 +522,72 @@ fn advise_flags() -> FlagSet {
 }
 
 fn cmd_advise(flags: &ParsedFlags) -> Result<String, String> {
-    let shape = stencil(flags)?;
     let n = flags.try_usize("--n").ok_or("advise requires --n")?;
     if n == 0 {
         return Err("advise requires --n".into());
     }
-    let cache = cache_spec(flags);
-    let json = json_format(flags)?;
     let steps = flags.usize("--steps");
-    let temporal = if steps > 0 {
-        let tk = temporal_kernel_of_shape(&shape)?;
-        let jobs = SimPool::new(flags.usize("--jobs")).jobs();
-        Some((tk, jobs, plan_temporal(tk, cache, n * n, steps, jobs)))
-    } else {
-        None
+    let req = PlanRequest {
+        query: PlanQuery::Advise,
+        stencil: req_stencil(flags)?,
+        di: n,
+        dj: n,
+        nk: 0,
+        cache: cache_spec(flags),
+        transforms: TransformSel::All,
+        steps,
+        jobs: request_jobs(flags, steps),
     };
+    let resp = respond(&req)?;
+    if json_format(flags)? {
+        return Ok(format!("{}\n", resp.render()));
+    }
+    let PlanResponse::Advice(r) = &resp else {
+        unreachable!("advise query answers with advice");
+    };
+    let shape = r.stencil.shape();
     let mut out = String::new();
-    if shape.atd() == 1 {
-        let bound = reuse::max_column_extent_2d(cache.elements, &shape);
-        let verdict = reuse::advise_2d(cache.elements, &shape, n);
-        if json {
-            let doc = Json::obj(vec![
-                ("stencil", Json::str(shape.name())),
-                ("n", Json::uint(n as u64)),
-                ("reuse_bound", Json::uint(bound as u64)),
-                ("verdict", Json::str(format!("{verdict:?}"))),
-            ]);
-            return Ok(format!("{}\n", doc.render()));
-        }
-        let _ = writeln!(
-            out,
-            "2D stencil {}: group reuse survives up to column length {bound}; \
-             at N = {n}: {verdict:?}",
-            shape.name()
-        );
-    } else {
-        let bound = reuse::max_plane_extent(cache.elements, &shape);
-        let verdict = reuse::advise_3d(cache.elements, &shape, n);
-        let dist = reuse::k_reuse_distance(&shape, n, n);
-        if json {
-            let mut fields = vec![
-                ("stencil", Json::str(shape.name())),
-                ("n", Json::uint(n as u64)),
-                ("reuse_bound", Json::uint(bound as u64)),
-                ("verdict", Json::str(format!("{verdict:?}"))),
-                ("reuse_distance_elements", Json::uint(dist as u64)),
-            ];
-            if let Some((tk, jobs, p)) = &temporal {
-                fields.push((
-                    "temporal",
-                    Json::obj(vec![
-                        ("kernel", Json::str(tk.name())),
-                        ("steps", Json::uint(steps as u64)),
-                        ("jobs", Json::uint(*jobs as u64)),
-                        ("st", Json::uint(p.st as u64)),
-                        ("sk", Json::uint(p.sk as u64)),
-                        ("working_planes", Json::uint(p.working_planes as u64)),
-                    ]),
-                ));
-            }
-            let doc = Json::obj(fields);
-            return Ok(format!("{}\n", doc.render()));
-        }
-        let _ = writeln!(
-            out,
-            "3D stencil {}: K-loop reuse survives up to plane extent {bound}; \
-             at N = {n}: {verdict:?}",
-            shape.name()
-        );
-        let _ = writeln!(
-            out,
-            "reuse distance across K at N = {n}: {dist} elements ({} KB)",
-            dist * 8 / 1024
-        );
-        if let Some((tk, jobs, p)) = &temporal {
+    match r.reuse_distance {
+        None => {
             let _ = writeln!(
                 out,
-                "temporal: {} x {steps} steps, {jobs} job(s) -> time tile (ST, SK) = ({}, {}) \
-                 ({} planes/buffer in cache)",
-                tk.name(),
-                p.st,
-                p.sk,
-                p.working_planes
+                "2D stencil {}: group reuse survives up to column length {}; \
+                 at N = {}: {:?}",
+                shape.name(),
+                r.reuse_bound,
+                r.n,
+                r.verdict
             );
+        }
+        Some(dist) => {
+            let _ = writeln!(
+                out,
+                "3D stencil {}: K-loop reuse survives up to plane extent {}; \
+                 at N = {}: {:?}",
+                shape.name(),
+                r.reuse_bound,
+                r.n,
+                r.verdict
+            );
+            let _ = writeln!(
+                out,
+                "reuse distance across K at N = {}: {dist} elements ({} KB)",
+                r.n,
+                dist * 8 / 1024
+            );
+            if let Some(t) = &r.temporal {
+                let _ = writeln!(
+                    out,
+                    "temporal: {} x {} steps, {} job(s) -> time tile (ST, SK) = ({}, {}) \
+                     ({} planes/buffer in cache)",
+                    t.kernel.name(),
+                    t.steps,
+                    t.jobs,
+                    t.plan.st,
+                    t.plan.sk,
+                    t.plan.working_planes
+                );
+            }
         }
     }
     Ok(out)
@@ -993,39 +975,48 @@ fn analyze_flags() -> FlagSet {
 /// broken time-stepped distance vector as typed witness (non-zero exit —
 /// the CI gate relies on this).
 fn analyze_temporal(flags: &ParsedFlags) -> Result<String, String> {
-    let tk = temporal_kernel(kernel(flags)?)?;
-    let skewed = !flags.switch("--no-skew");
-    let cert = temporal_certificate(tk, skewed);
-    if json_format(flags)? {
-        let doc = Json::obj(vec![
-            ("kernel", Json::str(tk.name())),
-            ("schedule", Json::str(cert.schedule.name.as_str())),
-            ("skewed", Json::Bool(skewed)),
-            ("legal", Json::Bool(cert.is_legal())),
-        ]);
-        let rendered = format!("{}\n", doc.render());
-        return if cert.is_legal() {
-            Ok(rendered)
-        } else {
-            Err(rendered)
-        };
-    }
-    let mut out = format!(
-        "temporal legality analysis: iterated {}, schedule '{}'\n\n",
-        tk.name(),
-        cert.schedule.name
-    );
-    out.push_str(&cert.report());
-    if cert.is_legal() {
-        let _ = writeln!(out, "\nthe time-skewed band tiling is legal");
-        Ok(out)
+    let req = PlanRequest {
+        query: PlanQuery::TemporalLegality {
+            skewed: !flags.switch("--no-skew"),
+        },
+        stencil: req_kernel(flags)?,
+        di: 0,
+        dj: 0,
+        nk: 0,
+        cache: cache_spec(flags),
+        transforms: TransformSel::All,
+        steps: 0,
+        jobs: 1,
+    };
+    let resp = respond(&req)?;
+    let PlanResponse::TemporalLegality(r) = &resp else {
+        unreachable!("temporal-legality query answers with a certificate");
+    };
+    let legal = r.certificate.is_legal();
+    let rendered = if json_format(flags)? {
+        format!("{}\n", resp.render())
     } else {
-        let _ = writeln!(
-            out,
-            "\nILLEGAL temporal schedule for {} — refusing to certify",
-            tk.name()
+        let mut out = format!(
+            "temporal legality analysis: iterated {}, schedule '{}'\n\n",
+            r.kernel.name(),
+            r.certificate.schedule.name
         );
-        Err(out)
+        out.push_str(&r.certificate.report());
+        if legal {
+            let _ = writeln!(out, "\nthe time-skewed band tiling is legal");
+        } else {
+            let _ = writeln!(
+                out,
+                "\nILLEGAL temporal schedule for {} — refusing to certify",
+                r.kernel.name()
+            );
+        }
+        out
+    };
+    if legal {
+        Ok(rendered)
+    } else {
+        Err(rendered)
     }
 }
 
@@ -1042,84 +1033,69 @@ fn cmd_analyze(flags: &ParsedFlags) -> Result<String, String> {
     if flags.switch("--locality") {
         return analyze_locality(flags);
     }
-    let kernel = kernel(flags)?;
+    let stencil = req_kernel(flags)?;
     let n = flags.usize("--n");
     if n < 3 {
         return Err("analyze requires --n >= 3".into());
     }
-    let cache = cache_spec(flags);
-    let skewed = !flags.switch("--no-skew");
-    let discipline = kernel.discipline();
-    let transforms: Vec<Transform> = match flags.try_str("--transform") {
-        None => Transform::ALL.to_vec(),
-        Some(t) if t.eq_ignore_ascii_case("all") => Transform::ALL.to_vec(),
-        Some(t) => vec![t.parse()?],
+    let req = PlanRequest {
+        query: PlanQuery::Legality {
+            skewed: !flags.switch("--no-skew"),
+        },
+        stencil,
+        di: n,
+        dj: n,
+        nk: 0,
+        cache: cache_spec(flags),
+        transforms: transform_sel(flags)?,
+        steps: 0,
+        jobs: 1,
     };
-    let certs: Vec<_> = transforms
+    let resp = respond(&req)?;
+    let PlanResponse::Legality(r) = &resp else {
+        unreachable!("legality query answers with certificates");
+    };
+    let illegal: Vec<&str> = r
+        .rows
         .iter()
-        .map(|&t| {
-            let p = plan(t, cache, n, n, &kernel.shape());
-            let cert = certificate_for(&discipline, p.tile.is_some(), skewed);
-            (t, p, cert)
-        })
+        .filter(|row| !row.certificate.is_legal())
+        .map(|row| row.plan.transform.name())
         .collect();
-    let illegal: Vec<&str> = certs
-        .iter()
-        .filter(|(_, _, c)| !c.is_legal())
-        .map(|(t, _, _)| t.name())
-        .collect();
-    if json_format(flags)? {
-        let rows = certs
-            .iter()
-            .map(|(t, p, cert)| {
-                Json::obj(vec![
-                    ("transform", Json::str(t.name())),
-                    ("tile", tile_json(p.tile)),
-                    ("skewed", Json::Bool(skewed)),
-                    ("legal", Json::Bool(cert.is_legal())),
-                ])
-            })
-            .collect();
-        let doc = Json::obj(vec![
-            ("kernel", Json::str(kernel.name())),
-            ("n", Json::uint(n as u64)),
-            ("all_legal", Json::Bool(illegal.is_empty())),
-            ("schedules", Json::Arr(rows)),
-        ]);
-        let rendered = format!("{}\n", doc.render());
-        return if illegal.is_empty() {
-            Ok(rendered)
-        } else {
-            Err(rendered)
-        };
-    }
-    let mut out = format!(
-        "legality analysis: {} (discipline {:?}), {n}x{n} arrays, cache {} doubles\n",
-        kernel.name(),
-        discipline,
-        cache.elements
-    );
-    for (t, p, cert) in &certs {
-        let _ = writeln!(
-            out,
-            "\n== {} / {} ({}) ==",
-            kernel.name(),
-            t.name(),
-            p.tile
-                .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
-        );
-        out.push_str(&cert.report());
-    }
-    if illegal.is_empty() {
-        let _ = writeln!(out, "\nall analyzed schedules are legal");
-        Ok(out)
+    let rendered = if json_format(flags)? {
+        format!("{}\n", resp.render())
     } else {
-        let _ = writeln!(
-            out,
-            "\nILLEGAL schedules for: {} — refusing to certify",
-            illegal.join(", ")
+        let kernel_name = r.stencil.kernel_name().unwrap_or("UNKNOWN");
+        let mut out = format!(
+            "legality analysis: {} (discipline {:?}), {n}x{n} arrays, cache {} doubles\n",
+            kernel_name, r.discipline, req.cache.elements
         );
-        Err(out)
+        for row in &r.rows {
+            let _ = writeln!(
+                out,
+                "\n== {} / {} ({}) ==",
+                kernel_name,
+                row.plan.transform.name(),
+                row.plan
+                    .tile
+                    .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
+            );
+            out.push_str(&row.certificate.report());
+        }
+        if illegal.is_empty() {
+            let _ = writeln!(out, "\nall analyzed schedules are legal");
+        } else {
+            let _ = writeln!(
+                out,
+                "\nILLEGAL schedules for: {} — refusing to certify",
+                illegal.join(", ")
+            );
+        }
+        out
+    };
+    if illegal.is_empty() {
+        Ok(rendered)
+    } else {
+        Err(rendered)
     }
 }
 
@@ -1201,7 +1177,6 @@ struct LocalityCell {
     sched: PlanSchedule,
     prob: Problem,
     tile: Option<(usize, usize)>,
-    padded: (usize, usize),
 }
 
 fn locality_cell(
@@ -1237,7 +1212,6 @@ fn locality_cell(
             dj: p.padded_dj,
         },
         tile,
-        padded: (p.padded_di, p.padded_dj),
     }
 }
 
@@ -1262,48 +1236,6 @@ fn replay_cell<S: AccessSink>(kernel: Kernel, cell: &LocalityCell, sink: &mut S)
     }
 }
 
-fn witness_json(w: &tiling3d_loopnest::locality::ConflictWitness) -> Json {
-    use tiling3d_loopnest::locality::WitnessKind;
-    Json::obj(vec![
-        (
-            "kind",
-            Json::str(match w.kind {
-                WitnessKind::ThrashGroup => "thrash-group",
-                WitnessKind::BandOverlap => "band-overlap",
-            }),
-        ),
-        (
-            "refs",
-            Json::Arr(w.refs.iter().map(|r| Json::str(*r)).collect()),
-        ),
-        (
-            "set_window",
-            Json::Arr(vec![
-                Json::uint(w.set_window.0 as u64),
-                Json::uint(w.set_window.1 as u64),
-            ]),
-        ),
-        ("period_iters", Json::uint(w.period_iters)),
-        ("lines", Json::uint(w.lines as u64)),
-        ("ways", Json::uint(w.ways as u64)),
-        ("killed_fraction", Json::Num(w.killed_fraction)),
-    ])
-}
-
-fn level_json(lp: &tiling3d_core::LevelPrediction) -> Json {
-    Json::obj(vec![
-        ("predicted_pct", Json::Num(lp.miss_rate_pct)),
-        ("fa_pct", Json::Num(100.0 * lp.fa_misses / lp.accesses)),
-        ("predicted_misses", Json::Num(lp.misses)),
-        ("bound_misses", Json::Num(lp.bound_misses)),
-        ("pathological", Json::Bool(lp.conflicts.pathological)),
-        (
-            "witnesses",
-            Json::Arr(lp.conflicts.witnesses.iter().map(witness_json).collect()),
-        ),
-    ])
-}
-
 fn requested_transforms(flags: &ParsedFlags) -> Result<Vec<Transform>, String> {
     match flags.try_str("--transform") {
         None => Ok(Transform::ALL.to_vec()),
@@ -1318,103 +1250,67 @@ fn requested_transforms(flags: &ParsedFlags) -> Result<Vec<Transform>, String> {
 /// predictions with conflict-interference corrections, the analytic
 /// lower bound, and every typed conflict witness. No trace is replayed.
 fn analyze_locality(flags: &ParsedFlags) -> Result<String, String> {
-    let kernel = kernel(flags)?;
+    let stencil = req_kernel(flags)?;
     let n = flags.usize("--n");
     if n < 3 {
         return Err("analyze requires --n >= 3".into());
     }
-    let nk = flags.usize("--nk");
-    let cache = cache_spec(flags);
-    let g = analysis_geometry(flags)?;
-    let transforms = requested_transforms(flags)?;
-    let cells: Vec<_> = transforms
-        .iter()
-        .map(|&t| {
-            let cell = locality_cell(kernel, t, cache, n, nk);
-            let p1 = predict_level(&cell.model, cell.sched, &cell.prob, &g.l1);
-            let p2 = predict_level(&cell.model, cell.sched, &cell.prob, &g.l2);
-            let h = histogram(&cell.model, cell.sched, &cell.prob, &g.l1);
-            (t, cell, p1, p2, h)
-        })
-        .collect();
+    let geometry: GeometryPreset = flags.parse_str("--geometry")?;
+    let req = PlanRequest {
+        query: PlanQuery::Locality { geometry },
+        stencil,
+        di: n,
+        dj: n,
+        nk: flags.usize("--nk"),
+        cache: cache_spec(flags),
+        transforms: transform_sel(flags)?,
+        steps: 0,
+        jobs: 1,
+    };
+    let resp = respond(&req)?;
     if json_format(flags)? {
-        let rows = cells
-            .iter()
-            .map(|(t, cell, p1, p2, h)| {
-                let classes = h
-                    .classes
-                    .iter()
-                    .map(|c| {
-                        Json::obj(vec![
-                            ("label", Json::str(c.label)),
-                            ("kind", Json::str(format!("{:?}", c.kind))),
-                            ("distance", Json::Num(c.distance)),
-                            ("count", Json::Num(c.count)),
-                        ])
-                    })
-                    .collect();
-                Json::obj(vec![
-                    ("transform", Json::str(t.name())),
-                    ("tile", tile_json(cell.tile)),
-                    (
-                        "padded_dims",
-                        Json::Arr(vec![
-                            Json::uint(cell.padded.0 as u64),
-                            Json::uint(cell.padded.1 as u64),
-                        ]),
-                    ),
-                    ("histogram", Json::Arr(classes)),
-                    (
-                        "knees",
-                        Json::Arr(h.knees().iter().map(|&k| Json::uint(k)).collect()),
-                    ),
-                    ("l1", level_json(p1)),
-                    ("l2", level_json(p2)),
-                ])
-            })
-            .collect();
-        let doc = Json::obj(vec![
-            ("kernel", Json::str(kernel.name())),
-            ("n", Json::uint(n as u64)),
-            ("nk", Json::uint(nk as u64)),
-            ("geometry", Json::str(g.name)),
-            ("transforms", Json::Arr(rows)),
-        ]);
-        return Ok(format!("{}\n", doc.render()));
+        return Ok(format!("{}\n", resp.render()));
     }
+    let PlanResponse::Locality(r) = &resp else {
+        unreachable!("locality query answers with a locality report");
+    };
+    let (l1g, l2g) = r.geometry.levels();
     let mut out = format!(
-        "static locality analysis: {} {n}x{n}x{nk}, geometry {} \
+        "static locality analysis: {} {}x{}x{}, geometry {} \
          (L1 {}KB {}-way/{}B, L2 {}KB {}-way/{}B)\n",
-        kernel.name(),
-        g.name,
-        g.l1.size_bytes / 1024,
-        g.l1.ways,
-        g.l1.line_bytes,
-        g.l2.size_bytes / 1024,
-        g.l2.ways,
-        g.l2.line_bytes,
+        r.stencil.kernel_name().unwrap_or("UNKNOWN"),
+        r.n,
+        r.n,
+        r.nk,
+        r.geometry.name(),
+        l1g.size_bytes / 1024,
+        l1g.ways,
+        l1g.line_bytes,
+        l2g.size_bytes / 1024,
+        l2g.ways,
+        l2g.line_bytes,
     );
-    for (t, cell, p1, p2, h) in &cells {
+    for row in &r.rows {
         let _ = writeln!(
             out,
             "\n== {} ({}, alloc {}x{}) ==",
-            t.name(),
-            cell.tile
+            row.plan.transform.name(),
+            row.tile
                 .map_or("untiled".into(), |(a, b)| format!("tile {a}x{b}")),
-            cell.padded.0,
-            cell.padded.1,
+            row.plan.padded_di,
+            row.plan.padded_dj,
         );
         let _ = writeln!(
             out,
             "  reuse-distance histogram ({:.0} accesses):",
-            h.accesses
+            row.histogram.accesses
         );
         let _ = writeln!(
             out,
             "    {:<16}{:<9}{:>14}{:>14}",
             "class", "kind", "distance", "count"
         );
-        for c in &h.classes {
+        for c in &row.histogram.classes {
             let _ = writeln!(
                 out,
                 "    {:<16}{:<9}{:>14.0}{:>14.0}",
@@ -1424,9 +1320,14 @@ fn analyze_locality(flags: &ParsedFlags) -> Result<String, String> {
                 c.count
             );
         }
-        let knees: Vec<String> = h.knees().iter().map(ToString::to_string).collect();
+        let knees: Vec<String> = row
+            .histogram
+            .knees()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let _ = writeln!(out, "  miss-curve knees (elements): {}", knees.join(", "));
-        for lp in [p1, p2] {
+        for lp in [&row.l1, &row.l2] {
             let _ = writeln!(
                 out,
                 "  {}: predicted {:.2}% (fa {:.2}% + conflict {:.0} misses), bound {:.0} misses",
@@ -1437,10 +1338,10 @@ fn analyze_locality(flags: &ParsedFlags) -> Result<String, String> {
                 lp.bound_misses,
             );
         }
-        if p1.conflicts.witnesses.is_empty() && p2.conflicts.witnesses.is_empty() {
+        if row.l1.conflicts.witnesses.is_empty() && row.l2.conflicts.witnesses.is_empty() {
             let _ = writeln!(out, "  conflicts: none");
         }
-        for (level, lp) in [("L1", p1), ("L2", p2)] {
+        for (level, lp) in [("L1", &row.l1), ("L2", &row.l2)] {
             for w in &lp.conflicts.witnesses {
                 let _ = writeln!(
                     out,
@@ -2134,6 +2035,134 @@ fn cmd_trace_check(flags: &ParsedFlags) -> Result<String, String> {
 // ---------------------------------------------------------------------------
 // Tests
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// serve / client
+// ---------------------------------------------------------------------------
+
+fn serve_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d serve",
+        "the memoized planning server (newline-delimited JSON over TCP/unix)",
+        None,
+        &[
+            FlagSpec::str(
+                "--tcp",
+                None,
+                "TCP listen address, e.g. 127.0.0.1:7070 (port 0 picks a free one)",
+            ),
+            FlagSpec::str("--socket", None, "unix socket path to listen on"),
+            FlagSpec::str(
+                "--warm-start",
+                None,
+                "persistent warm-start cache file (fingerprinted JSONL)",
+            ),
+            FlagSpec::switch(
+                "--no-resume",
+                "truncate an existing warm-start file instead of reloading it",
+            ),
+            FlagSpec::usize("--shards", Some("0"), "cache shards (0 = one per core)"),
+        ],
+    )
+}
+
+/// `serve`: run the plan server until a client sends `{"cmd":"shutdown"}`.
+/// The listening lines go straight to stdout (so wrappers can wait for
+/// them before connecting); the service summary is the command's result.
+fn cmd_serve(flags: &ParsedFlags) -> Result<String, String> {
+    let cfg = ServeConfig {
+        tcp: flags.try_str("--tcp").map(ToString::to_string),
+        unix: flags.try_str("--socket").map(PathBuf::from),
+        warm: flags.try_str("--warm-start").map(PathBuf::from),
+        resume: !flags.switch("--no-resume"),
+        shards: flags.usize("--shards"),
+    };
+    let handle = serve::start(cfg)?;
+    if let Some(addr) = handle.tcp_addr() {
+        println!("serve: listening on tcp {addr}");
+    }
+    if let Some(path) = handle.unix_path() {
+        println!("serve: listening on unix {}", path.display());
+    }
+    let _ = std::io::stdout().flush();
+    let service = Arc::clone(handle.service());
+    handle.wait();
+    let stats = &service.stats;
+    let (p50, p99) = stats.latency_percentiles();
+    Ok(format!(
+        "serve: shut down after {} request(s): {} hits, {} misses, {} errors, {} batch(es); \
+         {} cached plan(s) across {} shard(s); latency p50 {p50} us, p99 {p99} us\n",
+        stats.requests.load(Ordering::Relaxed),
+        stats.hits.load(Ordering::Relaxed),
+        stats.misses.load(Ordering::Relaxed),
+        stats.errors.load(Ordering::Relaxed),
+        stats.batches.load(Ordering::Relaxed),
+        service.entries(),
+        service.shards(),
+    ))
+}
+
+fn client_flags() -> FlagSet {
+    FlagSet::new(
+        "tiling3d client",
+        "send one request line to a running plan server",
+        Some((
+            "REQUEST",
+            "request JSON (object or batch array), or ping|stats|shutdown",
+        )),
+        &[
+            FlagSpec::str("--tcp", Some("127.0.0.1:7070"), "server TCP address"),
+            FlagSpec::str(
+                "--socket",
+                None,
+                "server unix socket path (overrides --tcp)",
+            ),
+        ],
+    )
+}
+
+/// `client`: one request line in, one reply line out — the same wire
+/// protocol `socat`/`nc` speak (see README).
+fn cmd_client(flags: &ParsedFlags) -> Result<String, String> {
+    let raw = flags
+        .positional()
+        .ok_or("client requires a REQUEST (JSON, or ping|stats|shutdown)")?;
+    let line = match raw {
+        "ping" | "stats" | "shutdown" => format!("{{\"cmd\":\"{raw}\"}}"),
+        _ => raw.to_string(),
+    };
+    let reply = if let Some(path) = flags.try_str("--socket") {
+        let stream =
+            UnixStream::connect(path).map_err(|e| format!("client: connect {path}: {e}"))?;
+        client_roundtrip(stream, &line)?
+    } else {
+        let addr = flags.str("--tcp");
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("client: connect {addr}: {e}"))?;
+        // One line out, one line back: Nagle coalescing only adds latency.
+        let _ = stream.set_nodelay(true);
+        client_roundtrip(stream, &line)?
+    };
+    Ok(format!("{reply}\n"))
+}
+
+fn client_roundtrip<S: std::io::Read + std::io::Write>(
+    mut stream: S,
+    line: &str,
+) -> Result<String, String> {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("client: send: {e}"))?;
+    stream.flush().map_err(|e| format!("client: send: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("client: receive: {e}"))?;
+    if reply.is_empty() {
+        return Err("client: server closed the connection without a reply".into());
+    }
+    Ok(reply.trim_end().to_string())
+}
 
 #[cfg(test)]
 mod tests {

@@ -196,7 +196,10 @@ fn plan_json_shape_is_pinned() {
         Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
         other => panic!("expected object, got {other:?}"),
     };
-    assert_eq!(keys, ["stencil", "di", "dj", "cache_elements", "plans"]);
+    assert_eq!(
+        keys,
+        ["ev", "stencil", "di", "dj", "cache_elements", "plans"]
+    );
     let Some(Json::Arr(plans)) = doc.get("plans") else {
         panic!("plans must be an array");
     };
@@ -208,6 +211,82 @@ fn plan_json_shape_is_pinned() {
         assert_eq!(
             keys,
             ["transform", "tile", "padded_di", "padded_dj", "cost"]
+        );
+    }
+}
+
+/// One schema, two transports: every `--format json` payload the CLI can
+/// emit must validate against the same golden wire schema that governs the
+/// `tiling3d serve` protocol (`crates/core/api.schema.golden`).
+#[test]
+fn cli_json_outputs_match_the_api_golden_schema() {
+    let outputs = [
+        run(&["plan", "--dims", "96x96", "--format", "json"]).unwrap(),
+        run(&[
+            "plan", "--dims", "96x96", "--steps", "4", "--format", "json",
+        ])
+        .unwrap(),
+        run(&[
+            "advise",
+            "--stencil",
+            "jacobi3d",
+            "--n",
+            "300",
+            "--format",
+            "json",
+        ])
+        .unwrap(),
+        run(&[
+            "advise",
+            "--stencil",
+            "jacobi2d",
+            "--n",
+            "100",
+            "--format",
+            "json",
+        ])
+        .unwrap(),
+        run(&["analyze", "--kernel", "jacobi", "--format", "json"]).unwrap(),
+        run(&[
+            "analyze",
+            "--kernel",
+            "jacobi",
+            "--temporal",
+            "--format",
+            "json",
+        ])
+        .unwrap(),
+        run(&[
+            "analyze",
+            "--kernel",
+            "jacobi",
+            "--locality",
+            "--n",
+            "64",
+            "--nk",
+            "8",
+            "--format",
+            "json",
+        ])
+        .unwrap(),
+    ];
+    // Each output is one newline-terminated JSON object, so the
+    // concatenation is a valid JSONL trace for the schema engine.
+    let trace: String = outputs.concat();
+    let golden = parse_schema(tiling3d_core::api::GOLDEN_SCHEMA).expect("api golden schema parses");
+    let report = check_trace_str(&trace, &golden);
+    assert!(report.is_ok(), "{}", report.summary());
+    for kind in [
+        "plan_response",
+        "advise_response",
+        "legality_response",
+        "temporal_legality_response",
+        "locality_response",
+    ] {
+        assert!(
+            report.events_by_kind.contains_key(kind),
+            "missing payload kind {kind}: {:?}",
+            report.events_by_kind
         );
     }
 }

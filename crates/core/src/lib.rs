@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod copymodel;
 mod cost;
 mod effcache;
@@ -53,6 +54,10 @@ pub mod predict;
 pub mod temporal;
 pub mod tile2d;
 
+pub use api::{
+    respond, respond_enveloped, GeometryPreset, PlanQuery, PlanRequest, PlanResponse, ReqStencil,
+    TransformSel, API_VERSION,
+};
 pub use cost::CostModel;
 pub use effcache::effective_cache_tile;
 pub use euc::{

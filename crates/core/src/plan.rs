@@ -7,7 +7,7 @@ use tiling3d_loopnest::StencilShape;
 
 /// Target cache capacity for tile selection, expressed in array elements
 /// (`f64` words), the unit the paper's algorithms work in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheSpec {
     /// Capacity in `f64` elements.
     pub elements: usize,

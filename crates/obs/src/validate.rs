@@ -9,7 +9,22 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::json::{self, Json};
 
 /// The schema signature of a trace: event kind → sorted `field:type` pairs.
+/// Derived from the trace itself; fields seen on *any* line of a kind are
+/// merged into its signature.
 pub type Schema = BTreeMap<String, BTreeMap<String, &'static str>>;
+
+/// One field in a parsed golden schema: its expected JSON type and whether
+/// the field may be absent (declared as `name?:type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Expected JSON type tag (`null|bool|num|str|arr|obj`).
+    pub ty: &'static str,
+    /// True when the field may be absent from an event of this kind.
+    pub optional: bool,
+}
+
+/// A parsed golden schema: event kind → field name → [`FieldSpec`].
+pub type GoldenSchema = BTreeMap<String, BTreeMap<String, FieldSpec>>;
 
 /// Outcome of validating one trace.
 #[derive(Debug)]
@@ -47,9 +62,11 @@ impl TraceReport {
 }
 
 /// Parses a golden schema file: `kind field:type,field:type` lines,
-/// `#` comments and blanks ignored.
-pub fn parse_schema(text: &str) -> Result<Schema, String> {
-    let mut schema = Schema::new();
+/// `#` comments and blanks ignored. A field spelled `name?:type` is
+/// *optional*: events of that kind may omit it, but when present it must
+/// carry the declared type.
+pub fn parse_schema(text: &str) -> Result<GoldenSchema, String> {
+    let mut schema = GoldenSchema::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -63,6 +80,10 @@ pub fn parse_schema(text: &str) -> Result<Schema, String> {
             let (name, ty) = pair
                 .split_once(':')
                 .ok_or_else(|| format!("schema line {}: bad pair '{pair}'", lineno + 1))?;
+            let (name, optional) = match name.strip_suffix('?') {
+                Some(base) => (base, true),
+                None => (name, false),
+            };
             let ty = match ty {
                 "null" => "null",
                 "bool" => "bool",
@@ -77,7 +98,7 @@ pub fn parse_schema(text: &str) -> Result<Schema, String> {
                     ))
                 }
             };
-            sig.insert(name.to_string(), ty);
+            sig.insert(name.to_string(), FieldSpec { ty, optional });
         }
         schema.insert(kind.to_string(), sig);
     }
@@ -89,10 +110,15 @@ pub fn parse_schema(text: &str) -> Result<Schema, String> {
 /// 1. every line parses as a JSON object with a string `ev` field;
 /// 2. every `span_open` is balanced by exactly one `span_close` (and ids
 ///    are unique);
-/// 3. every event kind present in the trace exists in the golden schema
-///    with an identical `field:type` signature (kinds absent from the trace
+/// 3. every event validates against its kind's golden entry — no
+///    unexpected fields, no wrong types, no missing *required* fields
+///    (optional `name?:type` fields may be absent) — and every kind in
+///    the trace exists in the golden schema (kinds absent from the trace
 ///    are fine — a short run need not emit logs).
-pub fn check_trace_str(trace: &str, golden: &Schema) -> TraceReport {
+///
+/// Schema-drift errors are reported once per `(kind, field)` pair, not
+/// once per offending line.
+pub fn check_trace_str(trace: &str, golden: &GoldenSchema) -> TraceReport {
     let mut report = TraceReport {
         lines: 0,
         events_by_kind: BTreeMap::new(),
@@ -100,6 +126,7 @@ pub fn check_trace_str(trace: &str, golden: &Schema) -> TraceReport {
         schema: Schema::new(),
         errors: Vec::new(),
     };
+    let mut drift_seen: BTreeSet<String> = BTreeSet::new();
     let mut opened: BTreeMap<u64, bool> = BTreeMap::new(); // id -> closed
     for (lineno, line) in trace.lines().enumerate() {
         if line.trim().is_empty() {
@@ -122,17 +149,38 @@ pub fn check_trace_str(trace: &str, golden: &Schema) -> TraceReport {
         let kind = kind.to_string();
         *report.events_by_kind.entry(kind.clone()).or_insert(0) += 1;
         let sig = v.field_types();
-        match report.schema.get(&kind) {
-            None => {
-                report.schema.insert(kind.clone(), sig.clone());
+        // The derived signature is the union of fields seen across the
+        // kind's lines (optional fields appear only where present).
+        let derived = report.schema.entry(kind.clone()).or_default();
+        for (field, ty) in &sig {
+            derived.entry(field.clone()).or_insert(ty);
+        }
+        if let Some(gsig) = golden.get(&kind) {
+            let mut drift = |what: String| {
+                if drift_seen.insert(format!("{kind}|{what}")) {
+                    report.errors.push(format!(
+                        "line {}: schema drift for '{kind}': {what}",
+                        lineno + 1
+                    ));
+                }
+            };
+            for (field, ty) in &sig {
+                match gsig.get(field) {
+                    None => drift(format!("unexpected field {field}:{ty}")),
+                    Some(spec) if spec.ty != *ty => {
+                        drift(format!(
+                            "field {field} has type {ty}, golden says {}",
+                            spec.ty
+                        ));
+                    }
+                    Some(_) => {}
+                }
             }
-            Some(prev) if prev != &sig => {
-                report.errors.push(format!(
-                    "line {}: '{kind}' signature differs within the trace",
-                    lineno + 1
-                ));
+            for (field, spec) in gsig {
+                if !spec.optional && !sig.contains_key(field) {
+                    drift(format!("missing required field {field}:{}", spec.ty));
+                }
             }
-            Some(_) => {}
         }
         match kind.as_str() {
             "span_open" => {
@@ -166,17 +214,11 @@ pub fn check_trace_str(trace: &str, golden: &Schema) -> TraceReport {
             report.errors.push(format!("span {id} never closed"));
         }
     }
-    for (kind, sig) in &report.schema {
-        match golden.get(kind) {
-            None => report
+    for kind in report.schema.keys() {
+        if !golden.contains_key(kind) {
+            report
                 .errors
-                .push(format!("event kind '{kind}' not in golden schema")),
-            Some(gsig) if gsig != sig => report.errors.push(format!(
-                "schema drift for '{kind}': trace has {}, golden has {}",
-                render_sig(sig),
-                render_sig(gsig)
-            )),
-            Some(_) => {}
+                .push(format!("event kind '{kind}' not in golden schema"));
         }
     }
     report
@@ -189,19 +231,12 @@ fn span_id(v: &Json) -> u64 {
         .unwrap_or(0)
 }
 
-fn render_sig(sig: &BTreeMap<String, &'static str>) -> String {
-    sig.iter()
-        .map(|(k, t)| format!("{k}:{t}"))
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::GOLDEN_SCHEMA;
 
-    fn golden() -> Schema {
+    fn golden() -> GoldenSchema {
         parse_schema(GOLDEN_SCHEMA).expect("golden schema parses")
     }
 
@@ -239,6 +274,32 @@ not json\n";
         );
         assert!(
             r.errors.iter().any(|e| e.contains("line 2")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent_but_not_mistyped() {
+        let g = parse_schema("thing ev:str,size:num,extra?:obj\n").unwrap();
+        // Present-with-right-type and absent are both fine.
+        let trace = "{\"ev\":\"thing\",\"extra\":{},\"size\":1}\n{\"ev\":\"thing\",\"size\":2}\n";
+        let r = check_trace_str(trace, &g);
+        assert!(r.is_ok(), "{}", r.summary());
+        // Present with the wrong type is drift; a missing required field too.
+        let trace = "{\"ev\":\"thing\",\"extra\":3,\"size\":1}\n{\"ev\":\"thing\"}\n";
+        let r = check_trace_str(trace, &g);
+        assert!(
+            r.errors
+                .iter()
+                .any(|e| e.contains("field extra has type num")),
+            "{:?}",
+            r.errors
+        );
+        assert!(
+            r.errors
+                .iter()
+                .any(|e| e.contains("missing required field size:num")),
             "{:?}",
             r.errors
         );
