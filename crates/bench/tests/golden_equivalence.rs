@@ -120,6 +120,53 @@ fn engine_matches_reference_at_pathological_size() {
     }
 }
 
+/// The write-side mirror of the tentpole guarantee: traces that emit
+/// batched `write_run`s (the copy-back nest of the Fig 5 time loop, the
+/// tile-window fill of the copying schedule) report exactly the counters
+/// of the per-access reference, whose default `write_run` expands store
+/// by store. Covers both L1 write policies in one shot: the UltraSparc2
+/// L1 is write-around (bulk tails of a missing line are bulk *misses*),
+/// its L2 write-allocate (bulk tails are bulk hits).
+#[test]
+fn write_run_traces_match_per_access_reference() {
+    use tiling3d_loopnest::TileDims;
+    use tiling3d_stencil::{copyopt, timestep};
+
+    for (n, nk, di, dj) in [(24usize, 6usize, 24usize, 24usize), (40, 8, 41, 45)] {
+        for tile in [None, Some(TileDims::new(8, 8)), Some(TileDims::new(3, 5))] {
+            let mut fast = Hierarchy::ultrasparc2();
+            timestep::trace(n, n, nk, di, dj, tile, 2, &mut fast);
+            let mut reference = ReferenceHierarchy::ultrasparc2();
+            timestep::trace(n, n, nk, di, dj, tile, 2, &mut reference);
+            assert_eq!(
+                fast.l1_stats(),
+                reference.l1.stats(),
+                "timestep L1 diverged: N={n} tile={tile:?}"
+            );
+            assert_eq!(
+                fast.l2_stats(),
+                reference.l2.stats(),
+                "timestep L2 diverged: N={n} tile={tile:?}"
+            );
+        }
+        let tile = TileDims::new(6, 4);
+        let mut fast = Hierarchy::ultrasparc2();
+        copyopt::trace_tiled_copying(n, n, nk, di, dj, tile, &mut fast);
+        let mut reference = ReferenceHierarchy::ultrasparc2();
+        copyopt::trace_tiled_copying(n, n, nk, di, dj, tile, &mut reference);
+        assert_eq!(
+            fast.l1_stats(),
+            reference.l1.stats(),
+            "copyopt L1 diverged: N={n}"
+        );
+        assert_eq!(
+            fast.l2_stats(),
+            reference.l2.stats(),
+            "copyopt L2 diverged: N={n}"
+        );
+    }
+}
+
 /// Sharding determinism: a sweep's simulated points are bit-identical for
 /// any worker count (f64 rates compared by bit pattern, not epsilon).
 #[test]

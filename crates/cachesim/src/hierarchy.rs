@@ -162,6 +162,17 @@ impl AccessSink for Hierarchy {
             }
         }
     }
+
+    #[inline]
+    fn write_run(&mut self, addr: u64, stride: i64, n: usize) {
+        // Write-through: both levels observe every store, and stores never
+        // couple the levels (unlike reads, where only L1 misses reach L2),
+        // so each level batches its own run independently — the two
+        // level-local segmentations are together bit-identical to the
+        // interleaved per-access expansion.
+        self.l1.write_run(addr, stride, n);
+        self.l2.write_run(addr, stride, n);
+    }
 }
 
 /// Convenience: run a trace closure against the standard UltraSparc2

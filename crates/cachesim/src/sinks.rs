@@ -38,6 +38,29 @@ pub trait AccessSink {
             a = a.wrapping_add(stride as u64);
         }
     }
+
+    /// A batched run of `n` stores at `addr, addr + stride, ...` — the
+    /// store-side mirror of [`AccessSink::read_run`], with the same exact
+    /// equivalence contract against the per-access expansion:
+    ///
+    /// ```ignore
+    /// for i in 0..n {
+    ///     self.write(addr.wrapping_add((i as i64).wrapping_mul(stride) as u64));
+    /// }
+    /// ```
+    ///
+    /// The unit-stride write loops of the copy nests (`timestep`'s
+    /// copy-back, `copyopt`'s tile-window fill) emit through this, so the
+    /// full-resolution simulation of a copy row costs one line probe per
+    /// touched line instead of one per element.
+    #[inline]
+    fn write_run(&mut self, addr: u64, stride: i64, n: usize) {
+        let mut a = addr;
+        for _ in 0..n {
+            self.write(a);
+            a = a.wrapping_add(stride as u64);
+        }
+    }
 }
 
 /// Counts reads and writes without simulating anything.
@@ -63,6 +86,11 @@ impl AccessSink for CountingSink {
     #[inline]
     fn read_run(&mut self, _addr: u64, _stride: i64, n: usize) {
         self.reads += n as u64;
+    }
+
+    #[inline]
+    fn write_run(&mut self, _addr: u64, _stride: i64, n: usize) {
+        self.writes += n as u64;
     }
 }
 
@@ -128,6 +156,11 @@ impl AccessSink for DistinctLineCounter {
             self.seen.insert(line);
         }
     }
+
+    fn write_run(&mut self, addr: u64, stride: i64, n: usize) {
+        // Reads and writes are indistinguishable to a distinct-lines count.
+        self.read_run(addr, stride, n);
+    }
 }
 
 /// Feeds one trace to two sinks at once (e.g. a hierarchy and a counter).
@@ -162,6 +195,12 @@ impl<A: AccessSink, B: AccessSink> AccessSink for TeeSink<'_, A, B> {
     fn read_run(&mut self, addr: u64, stride: i64, n: usize) {
         self.a.read_run(addr, stride, n);
         self.b.read_run(addr, stride, n);
+    }
+
+    #[inline]
+    fn write_run(&mut self, addr: u64, stride: i64, n: usize) {
+        self.a.write_run(addr, stride, n);
+        self.b.write_run(addr, stride, n);
     }
 }
 

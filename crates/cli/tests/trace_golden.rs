@@ -90,7 +90,14 @@ fn profile_trace_is_valid_and_jobs_invariant() {
     // The *set* of span names is jobs-invariant (workers are all named
     // "worker", never worker-N).
     assert_eq!(report1.span_names, report4.span_names);
-    for name in ["pool", "worker", "sweep:JACOBI", "plan:GcdPad"] {
+    for name in [
+        "pool",
+        "worker",
+        "sweep:JACOBI",
+        "plan:GcdPad",
+        "compute:JACOBI:row",
+        "compute:JACOBI:lane",
+    ] {
         assert!(
             report1.span_names.contains(name),
             "missing span '{name}' in {:?}",

@@ -15,7 +15,7 @@ use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
 use tiling3d_loopnest::TileDims;
 
-use crate::rowexec;
+use crate::backend::{self, Backend, ExecBackend, LaneEngine, Resolved, RowEngine, RowKernel};
 
 /// Tiled 3D Jacobi where each tile's `(TI+2) x (TJ+2) x 3` input window is
 /// copied into a contiguous rolling buffer before the tile plane is
@@ -24,6 +24,31 @@ use crate::rowexec;
 /// # Panics
 /// Panics if extents mismatch.
 pub fn sweep_tiled_copying(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: TileDims) {
+    sweep_tiled_copying_with::<RowEngine>(a, b, c, tile);
+}
+
+/// [`sweep_tiled_copying`] with the execution backend chosen at runtime.
+pub fn sweep_tiled_copying_backend(
+    a: &mut Array3<f64>,
+    b: &Array3<f64>,
+    c: f64,
+    tile: TileDims,
+    sel: ExecBackend,
+) {
+    match backend::resolve(sel, RowKernel::Jacobi3d) {
+        Resolved::Row => sweep_tiled_copying_with::<RowEngine>(a, b, c, tile),
+        Resolved::Lane => sweep_tiled_copying_with::<LaneEngine>(a, b, c, tile),
+    }
+}
+
+/// [`sweep_tiled_copying`] generic over the row-segment execution
+/// [`Backend`].
+pub fn sweep_tiled_copying_with<B: Backend>(
+    a: &mut Array3<f64>,
+    b: &Array3<f64>,
+    c: f64,
+    tile: TileDims,
+) {
     assert_eq!(
         (a.ni(), a.nj(), a.nk(), a.di(), a.dj()),
         (b.ni(), b.nj(), b.nk(), b.di(), b.dj())
@@ -81,7 +106,7 @@ pub fn sweep_tiled_copying(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: T
                                          // Local row start (li = 1) in the mid buffer plane.
                     let llo = mid * bplane + 1 + lj * bw;
                     let out = ii + j * di + k * ps;
-                    rowexec::jacobi3d_row(
+                    B::jacobi3d_row(
                         &mut av[out..out + len],
                         &buf[llo - 1..],
                         &buf[llo + 1..],
@@ -122,10 +147,12 @@ fn copy_plane(
     }
 }
 
-/// Trace of the copying schedule: per rolled-in plane, a read of each `B`
-/// element and a write to the buffer (placed just after the two arrays);
-/// per computed point, six buffer reads and the `A` store. Layout matches
-/// [`crate::jacobi3d::trace`] with the buffer appended.
+/// Trace of the copying schedule: per rolled-in plane, each haloed window
+/// row is one batched [`AccessSink::read_run`] over the `B` row followed
+/// by one batched [`AccessSink::write_run`] into the buffer (placed just
+/// after the two arrays) — matching [`copy_plane`]'s `copy_from_slice`
+/// rows; per computed point, six buffer reads and the `A` store. Layout
+/// matches [`crate::jacobi3d::trace`] with the buffer appended.
 pub fn trace_tiled_copying<S: AccessSink>(
     ni: usize,
     nj: usize,
@@ -152,13 +179,12 @@ pub fn trace_tiled_copying<S: AccessSink>(
         while ii <= i1 {
             let i_hi = (ii + ti - 1).min(i1);
             let trace_copy = |k: usize, slot: usize, sink: &mut S| {
+                let w = i_hi - ii + 3;
                 for j in (jj - 1)..=(j_hi + 1) {
                     let lj = j - (jj - 1);
-                    for i in (ii - 1)..=(i_hi + 1) {
-                        let li = i - (ii - 1);
-                        sink.read(b_base + ((i + j * di + k * ps) * 8) as u64);
-                        sink.write(buf_base + ((slot * bplane + li + lj * bw) * 8) as u64);
-                    }
+                    let src = (ii - 1) + j * di + k * ps;
+                    sink.read_run(b_base + (src * 8) as u64, 8, w);
+                    sink.write_run(buf_base + ((slot * bplane + lj * bw) * 8) as u64, 8, w);
                 }
             };
             trace_copy(0, 0, sink);

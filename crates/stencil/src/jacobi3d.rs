@@ -10,6 +10,7 @@ use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
 use tiling3d_loopnest::{for_each_rows, for_each_tiled, for_each_tiled_rows, IterSpace, TileDims};
 
+use crate::backend::{self, Backend, ExecBackend, LaneEngine, Resolved, RowEngine, RowKernel};
 use crate::rowexec;
 
 /// Floating-point operations per interior point (5 adds + 1 multiply).
@@ -28,8 +29,13 @@ pub fn sweep_flops(ni: usize, nj: usize, nk: usize) -> u64 {
 /// # Panics
 /// Panics if the two arrays differ in logical or allocated extents.
 pub fn sweep(a: &mut Array3<f64>, b: &Array3<f64>, c: f64) {
+    sweep_with::<RowEngine>(a, b, c);
+}
+
+/// [`sweep`] on an explicit execution backend `B`.
+pub fn sweep_with<B: Backend>(a: &mut Array3<f64>, b: &Array3<f64>, c: f64) {
     check_pair(a, b);
-    sweep_impl(a, b, c, None);
+    sweep_impl::<B>(a, b, c, None);
 }
 
 /// One tiled sweep in the Fig 6 schedule (`JJ`/`II`/`K`/`J`/`I`).
@@ -37,18 +43,39 @@ pub fn sweep(a: &mut Array3<f64>, b: &Array3<f64>, c: f64) {
 /// Bitwise-identical results to [`sweep`]; only the iteration order (and
 /// hence the cache behaviour) changes.
 pub fn sweep_tiled(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: TileDims) {
-    check_pair(a, b);
-    sweep_impl(a, b, c, Some(tile));
+    sweep_tiled_with::<RowEngine>(a, b, c, tile);
 }
 
-fn sweep_impl(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: Option<TileDims>) {
+/// [`sweep_tiled`] on an explicit execution backend `B`.
+pub fn sweep_tiled_with<B: Backend>(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: TileDims) {
+    check_pair(a, b);
+    sweep_impl::<B>(a, b, c, Some(tile));
+}
+
+/// One sweep (tiled or not) on the backend `sel` resolves to — the
+/// runtime-dispatch form of [`sweep_with`] / [`sweep_tiled_with`].
+pub fn sweep_backend(
+    a: &mut Array3<f64>,
+    b: &Array3<f64>,
+    c: f64,
+    tile: Option<TileDims>,
+    sel: ExecBackend,
+) {
+    check_pair(a, b);
+    match backend::resolve(sel, RowKernel::Jacobi3d) {
+        Resolved::Row => sweep_impl::<RowEngine>(a, b, c, tile),
+        Resolved::Lane => sweep_impl::<LaneEngine>(a, b, c, tile),
+    }
+}
+
+fn sweep_impl<B: Backend>(a: &mut Array3<f64>, b: &Array3<f64>, c: f64, tile: Option<TileDims>) {
     let (di, ps) = (b.di(), b.plane_stride());
     let space = IterSpace::interior(b.ni(), b.nj(), b.nk());
     let (av, bv) = (a.as_mut_slice(), b.as_slice());
     let row = |i0: usize, i1: usize, j: usize, k: usize| {
         let lo = j * di + k * ps + i0;
         let len = i1 - i0 + 1;
-        rowexec::jacobi3d_row(
+        B::jacobi3d_row(
             &mut av[lo..lo + len],
             &bv[lo - 1..],
             &bv[lo + 1..],

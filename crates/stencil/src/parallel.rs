@@ -31,6 +31,7 @@ use tiling3d_loopnest::{
     for_each_rows, for_each_tiled_rows, stride2_clip, stride2_last, IterSpace, TileDims,
 };
 
+use crate::backend::{self, Backend, ExecBackend, LaneEngine, Resolved, RowEngine, RowKernel};
 use crate::{jacobi3d, redblack, resid, rowexec};
 
 /// Partitions the interior `K` range `1..=nk-2` into at most `threads`
@@ -97,6 +98,32 @@ pub fn jacobi3d_sweep(
     tile: Option<TileDims>,
     threads: usize,
 ) {
+    jacobi3d_sweep_with::<RowEngine>(a, b, c, tile, threads);
+}
+
+/// [`jacobi3d_sweep`] with the execution backend chosen at runtime.
+pub fn jacobi3d_sweep_backend(
+    a: &mut Array3<f64>,
+    b: &Array3<f64>,
+    c: f64,
+    tile: Option<TileDims>,
+    threads: usize,
+    sel: ExecBackend,
+) {
+    match backend::resolve(sel, RowKernel::Jacobi3d) {
+        Resolved::Row => jacobi3d_sweep_with::<RowEngine>(a, b, c, tile, threads),
+        Resolved::Lane => jacobi3d_sweep_with::<LaneEngine>(a, b, c, tile, threads),
+    }
+}
+
+/// [`jacobi3d_sweep`] generic over the row-segment execution [`Backend`].
+pub fn jacobi3d_sweep_with<B: Backend>(
+    a: &mut Array3<f64>,
+    b: &Array3<f64>,
+    c: f64,
+    tile: Option<TileDims>,
+    threads: usize,
+) {
     assert_eq!(
         (a.ni(), a.nj(), a.nk(), a.di(), a.dj()),
         (b.ni(), b.nj(), b.nk(), b.di(), b.dj())
@@ -121,7 +148,7 @@ pub fn jacobi3d_sweep(
                 let row = |i0: usize, i1: usize, j: usize, k: usize| {
                     let lo = j * di + k * ps + i0;
                     let len = i1 - i0 + 1;
-                    rowexec::jacobi3d_row(
+                    B::jacobi3d_row(
                         &mut slab[lo - base..lo - base + len],
                         &bv[lo - 1..],
                         &bv[lo + 1..],
@@ -153,6 +180,34 @@ pub fn jacobi3d_sweep(
 /// # Panics
 /// Panics if extents mismatch or `threads == 0`.
 pub fn resid_sweep(
+    r: &mut Array3<f64>,
+    u: &Array3<f64>,
+    v: &Array3<f64>,
+    coeffs: &resid::Coeffs,
+    tile: Option<TileDims>,
+    threads: usize,
+) {
+    resid_sweep_with::<RowEngine>(r, u, v, coeffs, tile, threads);
+}
+
+/// [`resid_sweep`] with the execution backend chosen at runtime.
+pub fn resid_sweep_backend(
+    r: &mut Array3<f64>,
+    u: &Array3<f64>,
+    v: &Array3<f64>,
+    coeffs: &resid::Coeffs,
+    tile: Option<TileDims>,
+    threads: usize,
+    sel: ExecBackend,
+) {
+    match backend::resolve(sel, RowKernel::Resid) {
+        Resolved::Row => resid_sweep_with::<RowEngine>(r, u, v, coeffs, tile, threads),
+        Resolved::Lane => resid_sweep_with::<LaneEngine>(r, u, v, coeffs, tile, threads),
+    }
+}
+
+/// [`resid_sweep`] generic over the row-segment execution [`Backend`].
+pub fn resid_sweep_with<B: Backend>(
     r: &mut Array3<f64>,
     u: &Array3<f64>,
     v: &Array3<f64>,
@@ -195,7 +250,7 @@ pub fn resid_sweep(
                         &uv[h + ps..],
                         &uv[h + di + ps..],
                     ];
-                    rowexec::resid_row(
+                    B::resid_row(
                         &mut slab[lo - base..lo - base + len],
                         &vv[lo..],
                         rows,
@@ -247,6 +302,32 @@ pub fn redblack_sweep(
     tile: Option<TileDims>,
     threads: usize,
 ) {
+    redblack_sweep_with::<RowEngine>(a, c1, c2, tile, threads);
+}
+
+/// [`redblack_sweep`] with the execution backend chosen at runtime.
+pub fn redblack_sweep_backend(
+    a: &mut Array3<f64>,
+    c1: f64,
+    c2: f64,
+    tile: Option<TileDims>,
+    threads: usize,
+    sel: ExecBackend,
+) {
+    match backend::resolve(sel, RowKernel::RedBlack) {
+        Resolved::Row => redblack_sweep_with::<RowEngine>(a, c1, c2, tile, threads),
+        Resolved::Lane => redblack_sweep_with::<LaneEngine>(a, c1, c2, tile, threads),
+    }
+}
+
+/// [`redblack_sweep`] generic over the row-segment execution [`Backend`].
+pub fn redblack_sweep_with<B: Backend>(
+    a: &mut Array3<f64>,
+    c1: f64,
+    c2: f64,
+    tile: Option<TileDims>,
+    threads: usize,
+) {
     let n = a.ni();
     let nk = a.nk();
     assert!(a.nj() == n, "red-black kernel expects square I/J extents");
@@ -271,7 +352,7 @@ pub fn redblack_sweep(
         });
         if chunks.len() == 1 {
             let (k0, k1) = chunks[0];
-            color_pass_seq(av, k0, k1, n, di, ps, c1, c2, parity, tile);
+            color_pass_seq::<B>(av, k0, k1, n, di, ps, c1, c2, parity, tile);
             continue;
         }
         // Refresh the interface halos (planes shared between adjacent
@@ -310,7 +391,7 @@ pub fn redblack_sweep(
                     &hi_halos[c]
                 };
                 scope.spawn(move || {
-                    color_pass(slab, down, up, k0, k1, n, di, ps, c1, c2, parity, tile);
+                    color_pass::<B>(slab, down, up, k0, k1, n, di, ps, c1, c2, parity, tile);
                 });
             }
         });
@@ -326,7 +407,7 @@ pub fn redblack_sweep(
 /// an interface-halo snapshot; they are only consulted for `k == k0` /
 /// `k == k1` rows — interior `K±1` reads stay inside the slab.
 #[allow(clippy::too_many_arguments)]
-fn color_pass(
+fn color_pass<B: Backend>(
     slab: &mut [f64],
     down: &[f64],
     up: &[f64],
@@ -356,7 +437,7 @@ fn color_pass(
             } else {
                 &up[j * di + i0..]
             };
-            rowexec::redblack_row(
+            B::redblack_row(
                 &mut scratch[..m],
                 &src[lo..],
                 &src[lo - 1..],
@@ -412,7 +493,7 @@ fn color_pass(
 /// One colour pass over the whole interior on the calling thread: no
 /// spawns, no phase split, `K±1` reads straight from the live array.
 #[allow(clippy::too_many_arguments)]
-fn color_pass_seq(
+fn color_pass_seq<B: Backend>(
     av: &mut [f64],
     k0: usize,
     k1: usize,
@@ -430,7 +511,7 @@ fn color_pass_seq(
         let m = (i1 - i0) / 2 + 1;
         {
             let src: &[f64] = av;
-            rowexec::redblack_row(
+            B::redblack_row(
                 &mut scratch[..m],
                 &src[lo..],
                 &src[lo - 1..],

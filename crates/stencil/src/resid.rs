@@ -19,6 +19,7 @@ use tiling3d_loopnest::{
     for_each, for_each_rows, for_each_tiled, for_each_tiled_rows, IterSpace, TileDims,
 };
 
+use crate::backend::{self, Backend, ExecBackend, LaneEngine, Resolved, RowEngine, RowKernel};
 use crate::rowexec;
 
 /// FLOPs per interior point: 26 adds within/between neighbour groups plus
@@ -114,6 +115,33 @@ pub fn sweep(
     coeffs: &Coeffs,
     tile: Option<TileDims>,
 ) {
+    sweep_with::<RowEngine>(r, u, v, coeffs, tile);
+}
+
+/// One sweep on the backend `sel` resolves to — the runtime-dispatch
+/// form of [`sweep_with`].
+pub fn sweep_backend(
+    r: &mut Array3<f64>,
+    u: &Array3<f64>,
+    v: &Array3<f64>,
+    coeffs: &Coeffs,
+    tile: Option<TileDims>,
+    sel: ExecBackend,
+) {
+    match backend::resolve(sel, RowKernel::Resid) {
+        Resolved::Row => sweep_with::<RowEngine>(r, u, v, coeffs, tile),
+        Resolved::Lane => sweep_with::<LaneEngine>(r, u, v, coeffs, tile),
+    }
+}
+
+/// [`sweep`] on an explicit execution backend `B`.
+pub fn sweep_with<B: Backend>(
+    r: &mut Array3<f64>,
+    u: &Array3<f64>,
+    v: &Array3<f64>,
+    coeffs: &Coeffs,
+    tile: Option<TileDims>,
+) {
     for pair in [(r.ni(), u.ni()), (r.di(), u.di()), (r.dj(), u.dj())] {
         assert_eq!(pair.0, pair.1, "R and U extents differ");
     }
@@ -139,7 +167,7 @@ pub fn sweep(
             &uv[h + ps..],
             &uv[h + di + ps..],
         ];
-        rowexec::resid_row(&mut rv[lo..lo + len], &vv[lo..], rows, coeffs);
+        B::resid_row(&mut rv[lo..lo + len], &vv[lo..], rows, coeffs);
     };
     match tile {
         None => for_each_rows(space, row),

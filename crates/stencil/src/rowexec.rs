@@ -28,7 +28,7 @@ pub(crate) fn note_sweep(points: u64, flops_per_point: u64) {
 /// Sources are the six neighbour rows (west/east along `I`, north/south
 /// along `J`, down/up along `K`), each at least `dst.len()` long.
 #[allow(clippy::too_many_arguments)]
-#[inline]
+#[inline(never)]
 pub fn jacobi3d_row(
     dst: &mut [f64],
     w: &[f64],
@@ -49,7 +49,7 @@ pub fn jacobi3d_row(
 }
 
 /// One Jacobi 2D row: `dst[i] = c * (w[i] + e[i] + n[i] + s[i])`.
-#[inline]
+#[inline(never)]
 pub fn jacobi2d_row(dst: &mut [f64], w: &[f64], e: &[f64], n: &[f64], s: &[f64], c: f64) {
     let len = dst.len();
     let (w, e, n, s) = (&w[..len], &e[..len], &n[..len], &s[..len]);
@@ -69,7 +69,7 @@ pub type Rows9<'a> = [&'a [f64]; 9];
 /// `s1` over the 6 faces, `s2` over the 12 edges, `s3` over the 8
 /// corners, each starting from `0.0` and adding in the offset-table
 /// order of [`resid`](crate::resid).
-#[inline]
+#[inline(never)]
 pub fn resid_row(dst: &mut [f64], v: &[f64], rows: Rows9<'_>, c: &Coeffs) {
     let len = dst.len();
     if len == 0 {
@@ -122,7 +122,7 @@ pub fn resid_row(dst: &mut [f64], v: &[f64], rows: Rows9<'_>, c: &Coeffs) {
 /// opposite color, the split never observes its own writes and stays
 /// bit-identical to the in-place per-point reference.
 #[allow(clippy::too_many_arguments)]
-#[inline]
+#[inline(never)]
 pub fn redblack_row(
     scratch: &mut [f64],
     ctr: &[f64],
@@ -151,7 +151,7 @@ pub fn redblack_row(
 
 /// 2D variant of [`redblack_row`] (no down/up planes).
 #[allow(clippy::too_many_arguments)]
-#[inline]
+#[inline(never)]
 pub fn redblack2d_row(
     scratch: &mut [f64],
     ctr: &[f64],

@@ -16,8 +16,9 @@
 
 use tiling3d_cachesim::AccessSink;
 use tiling3d_grid::Array3;
-use tiling3d_loopnest::{for_each, for_each_rows, IterSpace, TileDims};
+use tiling3d_loopnest::{for_each_rows, IterSpace, TileDims};
 
+use crate::backend::ExecBackend;
 use crate::jacobi3d;
 
 /// FLOPs of one full time step (stencil sweep; the copy-back is pure data
@@ -42,6 +43,22 @@ pub fn run(a: &mut Array3<f64>, b: &mut Array3<f64>, c: f64, tile: Option<TileDi
     }
 }
 
+/// [`run`] with the stencil nest executed on the chosen backend (the
+/// copy-back nest is pure data movement and backend-independent).
+pub fn run_backend(
+    a: &mut Array3<f64>,
+    b: &mut Array3<f64>,
+    c: f64,
+    tile: Option<TileDims>,
+    steps: usize,
+    sel: ExecBackend,
+) {
+    for _ in 0..steps {
+        jacobi3d::sweep_backend(a, b, c, tile, sel);
+        copy_back(b, a);
+    }
+}
+
 /// The second nest of Fig 5: `B(I,J,K) = A(I,J,K)` over the interior.
 ///
 /// Row-segment form: each interior row is one contiguous `copy_from_slice`.
@@ -61,6 +78,12 @@ pub fn copy_back(b: &mut Array3<f64>, a: &Array3<f64>) {
 /// Replays the trace of `steps` full time steps (stencil nest + copy-back
 /// nest, `A` at byte 0 and `B` immediately after, as in
 /// [`crate::jacobi3d::trace`]).
+///
+/// The copy-back nest is emitted row-granular, matching [`copy_back`]'s
+/// `copy_from_slice` rows: one batched [`AccessSink::read_run`] over the
+/// `A` row followed by one batched [`AccessSink::write_run`] over the `B`
+/// row, so a full-resolution simulation probes each touched line once per
+/// row instead of once per element.
 #[allow(clippy::too_many_arguments)]
 pub fn trace<S: AccessSink>(
     ni: usize,
@@ -78,10 +101,11 @@ pub fn trace<S: AccessSink>(
     let space = IterSpace::interior(ni, nj, nk);
     for _ in 0..steps {
         jacobi3d::trace(ni, nj, nk, di, dj, tile, sink);
-        for_each(space, |i, j, k| {
-            let idx = (i + j * di + k * ps) as u64 * 8;
-            sink.read(a_base + idx);
-            sink.write(b_base + idx);
+        for_each_rows(space, |i0, i1, j, k| {
+            let idx = (i0 + j * di + k * ps) as u64 * 8;
+            let len = i1 - i0 + 1;
+            sink.read_run(a_base + idx, 8, len);
+            sink.write_run(b_base + idx, 8, len);
         });
     }
 }
