@@ -23,6 +23,7 @@
 
 pub mod checkpoint;
 pub mod fault;
+pub mod fuzz;
 pub mod jsonl;
 pub mod microbench;
 pub mod plot;

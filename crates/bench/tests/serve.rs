@@ -1,14 +1,16 @@
-//! Integration tests for the planning server (DESIGN.md §16): concurrent
-//! bit-identity, warm-start persistence across a kill-and-restart, the
-//! batch endpoint, and the unix-socket transport.
+//! Integration tests for the planning server (DESIGN.md §16/§18):
+//! concurrent bit-identity, warm-start persistence across a
+//! kill-and-restart, corruption quarantine, the batch endpoint, the
+//! unix-socket transport, admission control, and graceful drain.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::thread;
+use std::time::Duration;
 
-use tiling3d_bench::serve::{self, PlanService, ServeConfig};
+use tiling3d_bench::serve::{self, PlanService, ServeConfig, ServeLimits};
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("tiling3d-serve-tests");
@@ -213,6 +215,232 @@ fn unix_socket_serves_the_same_bytes_as_tcp() {
 
     // A client shutdown command stops the server; wait() must return and
     // remove the socket file.
+    let _ = roundtrip(&mut unix, "{\"cmd\":\"shutdown\"}");
+    handle.wait();
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn overload_sheds_exactly_the_connections_past_the_budget() {
+    let handle = serve::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        limits: ServeLimits {
+            max_conns: 2,
+            ..ServeLimits::default()
+        },
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap();
+    let line = "{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":96}";
+
+    // Fill the budget: a completed roundtrip proves each was admitted.
+    let mut a = TcpStream::connect(addr).unwrap();
+    let mut b = TcpStream::connect(addr).unwrap();
+    let expected = roundtrip(&mut a, line);
+    assert_eq!(roundtrip(&mut b, line), expected);
+
+    // The max_conns+1'th client gets exactly one typed overloaded reply
+    // and then EOF — no hang, no silent drop.
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(&mut c);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.contains("\"code\":\"overloaded\""),
+        "expected a typed overloaded reply, got: {reply}"
+    );
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).unwrap(),
+        0,
+        "shed connection must close after the reply"
+    );
+
+    // Releasing one admitted connection frees its slot; a new client is
+    // admitted and served the byte-identical cached answer.
+    drop(a);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let served = loop {
+        let mut d = TcpStream::connect(addr).unwrap();
+        d.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let reply = roundtrip(&mut d, line);
+        if reply == expected {
+            break true;
+        }
+        assert!(
+            reply.contains("\"code\":\"overloaded\""),
+            "unexpected reply while slot released: {reply}"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never released after client disconnect"
+        );
+        thread::sleep(Duration::from_millis(10));
+    };
+    assert!(served);
+    let shed = handle
+        .service()
+        .gauges()
+        .shed
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(shed >= 1, "shed counter must record the rejection");
+    handle.request_shutdown();
+    handle.wait();
+}
+
+#[test]
+fn drain_flushes_in_flight_replies_byte_identically() {
+    let lines = request_lines();
+    let expected = cold_answers(&lines);
+    let n = lines.len();
+    let handle = serve::start(ServeConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    // N clients, one request each, all written before shutdown.
+    let workers: Vec<_> = lines
+        .iter()
+        .cloned()
+        .zip(expected.iter().cloned())
+        .map(|(line, want)| {
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.set_nodelay(true).unwrap();
+                let reply = roundtrip(&mut stream, &line);
+                assert_eq!(reply, want, "drained reply for {line} diverged");
+            })
+        })
+        .collect();
+
+    // Gate on the request counter (incremented when processing *starts*,
+    // after the draining check): once it reads N, every request above was
+    // admitted into compute before the drain flips, so all N replies must
+    // flush byte-identically.
+    let stats = &handle.service().stats;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while stats.requests.load(std::sync::atomic::Ordering::Relaxed) < n as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "requests never started"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+    handle.request_shutdown();
+    for w in workers {
+        w.join().expect("drained client thread");
+    }
+
+    // A request arriving after the drain began gets a typed reply (either
+    // `draining` from an admitted connection or a connection refused once
+    // the listener is gone), never a hang.
+    if let Ok(mut late) = TcpStream::connect(addr) {
+        late.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        late.write_all(b"{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":48}\n")
+            .and_then(|()| late.flush())
+            .ok();
+        let mut reply = String::new();
+        let _ = BufReader::new(&mut late).read_line(&mut reply);
+        if !reply.is_empty() {
+            assert!(
+                reply.contains("\"code\":\"draining\""),
+                "late request must observe draining, got: {reply}"
+            );
+        }
+    }
+    handle.wait();
+}
+
+#[test]
+fn warm_start_quarantines_corruption_and_always_boots() {
+    let lines = request_lines();
+    let pristine_path = tmp("corrupt-src.jsonl");
+    std::fs::remove_file(&pristine_path).ok();
+    let expected: Vec<String> = {
+        let svc = PlanService::open(2, Some(&pristine_path), false).unwrap();
+        lines
+            .iter()
+            .map(|l| svc.handle_line(l).reply().to_string())
+            .collect()
+    };
+    let pristine = std::fs::read(&pristine_path).unwrap();
+    std::fs::remove_file(&pristine_path).ok();
+    assert!(pristine.len() > 256, "warm file too small to corrupt");
+
+    // Corrupt one byte at several offsets: inside the header, early,
+    // mid-file, and late. Every case must boot, quarantine (or shed a
+    // torn tail), and then re-serve every request byte-identically.
+    let offsets = [
+        8,
+        pristine.len() / 4,
+        pristine.len() / 2,
+        (pristine.len() * 3) / 4,
+        pristine.len() - 2,
+    ];
+    for (case, &k) in offsets.iter().enumerate() {
+        let path = tmp(&format!("corrupt-{case}.jsonl"));
+        std::fs::remove_file(&path).ok();
+        let mut bytes = pristine.clone();
+        bytes[k] ^= 0x5a; // flip bits, never produce the same byte
+        std::fs::write(&path, &bytes).unwrap();
+
+        let svc = PlanService::open(2, Some(&path), true)
+            .unwrap_or_else(|e| panic!("case {case} (byte {k}): boot failed: {e}"));
+        assert!(
+            svc.entries() < lines.len() || svc.quarantined().is_some(),
+            "case {case}: corruption at byte {k} went entirely unnoticed"
+        );
+        for (line, want) in lines.iter().zip(&expected) {
+            assert_eq!(
+                svc.handle_line(line).reply(),
+                want,
+                "case {case}: reply diverged after corruption at byte {k}"
+            );
+        }
+        drop(svc);
+        // Clean up this case's warm file and any quarantine snapshots.
+        std::fs::remove_file(&path).ok();
+        for n in 1..4 {
+            std::fs::remove_file(format!("{}.corrupt-{n}", path.display())).ok();
+        }
+    }
+}
+
+#[test]
+fn failed_start_leaves_no_stale_socket_and_rebinds_cleanly() {
+    let sock = tmp("stale.sock");
+    std::fs::remove_file(&sock).ok();
+
+    // Occupy a TCP port so the second bind in start() fails *after* the
+    // unix socket has been bound.
+    let blocker = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let blocked_addr = blocker.local_addr().unwrap().to_string();
+
+    let err = serve::start(ServeConfig {
+        tcp: Some(blocked_addr),
+        unix: Some(sock.clone()),
+        ..ServeConfig::default()
+    });
+    assert!(err.is_err(), "bind to an occupied port must fail");
+    assert!(
+        !sock.exists(),
+        "failed start must not leave a stale socket file behind"
+    );
+
+    // Regression: the same path must bind cleanly on the next attempt.
+    let handle = serve::start(ServeConfig {
+        unix: Some(sock.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut unix = UnixStream::connect(handle.unix_path().unwrap()).unwrap();
+    let reply = roundtrip(&mut unix, "{\"cmd\":\"ping\"}");
+    assert_eq!(reply, "{\"ev\":\"pong\"}");
     let _ = roundtrip(&mut unix, "{\"cmd\":\"shutdown\"}");
     handle.wait();
     assert!(!sock.exists(), "socket file removed on shutdown");

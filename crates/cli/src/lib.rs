@@ -15,10 +15,10 @@
 //! tiling3d oracle      --kernel jacobi --n 120 [--nk 20] [--transform all] [--geometry us2|modern|fa]
 //! tiling3d measure     --kernel redblack --n 192 [--nk 30] [--transform orig] [--reps 3] [--jobs N] [--backend row|lane|auto]
 //! tiling3d profile     --kernel jacobi --n 64 [--nk 30] [--jobs N] [--trace-out t.jsonl] [--steps T]
-//! tiling3d chaos       [--kernel jacobi] [--min 40 --max 56 --step 8 --nk 8] [--seed 42] [--faults 2] [--jobs N]
+//! tiling3d chaos       [--kernel jacobi] [--min 40 --max 56 --step 8 --nk 8] [--seed 42] [--faults 2] [--jobs N] [--serve --rounds 8]
 //! tiling3d trace-check trace.jsonl [--schema schema.golden]
-//! tiling3d serve       --tcp 127.0.0.1:7070 [--socket PATH] [--warm-start FILE] [--no-resume] [--shards N]
-//! tiling3d client      REQUEST [--tcp ADDR | --socket PATH]
+//! tiling3d serve       --tcp 127.0.0.1:7070 [--socket PATH] [--warm-start FILE] [--no-resume] [--shards N] [--max-conns 256] [--conn-idle-ms 10000] [--max-frame-bytes 1048576] [--drain-deadline-ms 5000] [--compute-deadline-ms 0]
+//! tiling3d client      REQUEST [--tcp ADDR | --socket PATH] [--retries 1] [--backoff-ms 10]
 //! ```
 //!
 //! `plan`, `advise` and the `analyze` family are thin adapters over the
@@ -62,7 +62,14 @@
 //! armed point degrades to exactly the expected typed error while every
 //! other point stays bit-identical to the baseline — and that with
 //! once-only faults plus retries the whole sweep recovers bit-identically.
-//! Any violated expectation makes the command exit non-zero.
+//! Any violated expectation makes the command exit non-zero. `chaos
+//! --serve` switches the target from sweeps to the serving layer
+//! (DESIGN.md §18): it boots an in-process hardened server and runs the
+//! seeded protocol-fuzz campaign (malformed/truncated/oversized frames,
+//! binary garbage, slow-loris, mid-request disconnects), a warm-start
+//! corruption-recovery campaign, and a drain-under-load campaign, each
+//! verifying typed errors, zero slot leaks, and byte-identical cached
+//! answers after every abuse round.
 //!
 //! `analyze` runs the dependence-based legality analyzer: it prints each
 //! schedule's dependence set, transformation steps and verdict, and exits
@@ -114,7 +121,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use tiling3d_bench::fault::{FaultKind, FaultMode, FaultPlan};
-use tiling3d_bench::serve::{self, ServeConfig};
+use tiling3d_bench::serve::{self, ServeConfig, ServeLimits};
 use tiling3d_bench::{
     checkpoint, simulate_grid, simulate_grid_supervised, supervise, SimPoint, SimPool, SweepConfig,
     SweepError, SweepOptions,
@@ -1860,6 +1867,15 @@ fn chaos_flags() -> FlagSet {
                 "retries per point in the recovery campaigns",
             ),
             JOBS_FLAG,
+            FlagSpec::switch(
+                "--serve",
+                "target the serving layer: protocol fuzz + warm corruption + drain campaigns",
+            ),
+            FlagSpec::usize(
+                "--rounds",
+                Some("8"),
+                "abuse rounds in the --serve fuzz campaign",
+            ),
         ],
     )
 }
@@ -1967,6 +1983,9 @@ fn chaos_campaign(
 /// full bit-identical recovery when retries can win. Exits non-zero on
 /// any violated expectation.
 fn cmd_chaos(flags: &ParsedFlags) -> Result<String, String> {
+    if flags.switch("--serve") {
+        return cmd_chaos_serve(flags);
+    }
     let kernel = kernel(flags)?;
     let cfg = SweepConfig {
         n_min: flags.usize("--min"),
@@ -2061,6 +2080,205 @@ fn cmd_chaos(flags: &ParsedFlags) -> Result<String, String> {
     Ok(out)
 }
 
+/// The request spread the serving-layer campaigns replay (distinct query
+/// kinds so the warm file carries several shard entries).
+fn chaos_serve_requests() -> Vec<String> {
+    vec![
+        "{\"query\":\"plan\",\"stencil\":\"jacobi3d\",\"n\":200}".to_string(),
+        "{\"query\":\"advise\",\"stencil\":\"jacobi3d\",\"n\":300}".to_string(),
+        "{\"query\":\"legality\",\"kernel\":\"redblack\",\"n\":96}".to_string(),
+        "{\"query\":\"euc3d\",\"stencil\":\"resid\",\"di\":200,\"dj\":200}".to_string(),
+        "{\"query\":\"locality\",\"kernel\":\"jacobi\",\"n\":48,\"nk\":6}".to_string(),
+    ]
+}
+
+/// `chaos --serve`: the serving-layer chaos harness (DESIGN.md §18).
+/// Three campaigns against the hardened server: (1) the seeded protocol
+/// fuzzer over a live TCP transport, (2) warm-start corruption recovery —
+/// a byte is flipped at seeded offsets and every reboot must quarantine,
+/// boot, and re-serve byte-identically, (3) graceful drain under load —
+/// concurrent in-flight requests issued before shutdown must all flush
+/// byte-identical to a cold service. Exits non-zero on any violation.
+fn cmd_chaos_serve(flags: &ParsedFlags) -> Result<String, String> {
+    use tiling3d_bench::fuzz;
+    use tiling3d_bench::serve::PlanService;
+
+    let seed = flags.usize("--seed") as u64;
+    let rounds = flags.usize("--rounds").max(1);
+    let limits = ServeLimits {
+        max_conns: 32,
+        conn_idle: std::time::Duration::from_millis(500),
+        max_frame_bytes: 4096,
+        drain_deadline: std::time::Duration::from_millis(2_000),
+        compute_deadline: None,
+    };
+    let lines = chaos_serve_requests();
+    let expected: Vec<String> = {
+        let svc = PlanService::open(1, None, false)?;
+        lines
+            .iter()
+            .map(|l| svc.handle_line(l).reply().to_string())
+            .collect()
+    };
+    let mut out = format!("chaos --serve: seed {seed}, {rounds} abuse round(s)\n");
+    let mut total_violations = 0usize;
+
+    // Campaign 1: seeded protocol fuzzing over live TCP.
+    {
+        let handle = serve::start(ServeConfig {
+            tcp: Some("127.0.0.1:0".to_string()),
+            limits,
+            ..ServeConfig::default()
+        })?;
+        let addr = handle
+            .tcp_addr()
+            .ok_or("chaos --serve: no TCP address")?
+            .to_string();
+        let report = fuzz::campaign(&addr, &limits, seed, rounds);
+        let verdict = if report.passed() { "ok" } else { "!!" };
+        let _ = writeln!(
+            out,
+            "  [{verdict}] protocol-fuzz           {} round(s), {} failure(s)",
+            report.rounds,
+            report.failures.len()
+        );
+        for f in &report.failures {
+            let _ = writeln!(out, "       {f}");
+        }
+        total_violations += report.failures.len();
+        handle.request_shutdown();
+        handle.wait();
+    }
+
+    // Campaign 2: warm-start corruption recovery. Flip one byte at seeded
+    // offsets; every reboot must quarantine (or shed a torn tail), boot,
+    // and re-serve the byte-identical answers.
+    {
+        let dir = std::env::temp_dir().join("tiling3d-chaos-serve");
+        std::fs::create_dir_all(&dir).map_err(|e| format!("chaos --serve: tmp dir: {e}"))?;
+        let warm = dir.join(format!("warm-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&warm).ok();
+        {
+            let svc = PlanService::open(2, Some(&warm), false)?;
+            for l in &lines {
+                svc.handle_line(l);
+            }
+        }
+        let pristine =
+            std::fs::read(&warm).map_err(|e| format!("chaos --serve: read warm file: {e}"))?;
+        std::fs::remove_file(&warm).ok();
+        let mut rng = tiling3d_grid::Xorshift64::new(seed | 1);
+        let mut violations = Vec::new();
+        let cases = 5usize;
+        for _ in 0..cases {
+            // Offset 1.. so the flip never lands on the final newline.
+            let k = 1 + rng.next_below(pristine.len() - 2);
+            let mut bytes = pristine.clone();
+            bytes[k] ^= 0x5a;
+            std::fs::write(&warm, &bytes)
+                .map_err(|e| format!("chaos --serve: write corrupted warm file: {e}"))?;
+            match PlanService::open(2, Some(&warm), true) {
+                Err(e) => violations.push(format!("byte {k}: boot failed: {e}")),
+                Ok(svc) => {
+                    for (l, want) in lines.iter().zip(&expected) {
+                        if svc.handle_line(l).reply() != want {
+                            violations.push(format!("byte {k}: reply diverged for {l}"));
+                        }
+                    }
+                }
+            }
+            std::fs::remove_file(&warm).ok();
+            for n in 1..8 {
+                std::fs::remove_file(format!("{}.corrupt-{n}", warm.display())).ok();
+            }
+        }
+        let verdict = if violations.is_empty() { "ok" } else { "!!" };
+        let _ = writeln!(
+            out,
+            "  [{verdict}] warm-corruption        {cases} corrupted boot(s), {} failure(s)",
+            violations.len()
+        );
+        for v in &violations {
+            let _ = writeln!(out, "       {v}");
+        }
+        total_violations += violations.len();
+    }
+
+    // Campaign 3: graceful drain under load. All in-flight requests
+    // admitted before the drain must flush byte-identically.
+    {
+        let handle = serve::start(ServeConfig {
+            tcp: Some("127.0.0.1:0".to_string()),
+            limits,
+            ..ServeConfig::default()
+        })?;
+        let addr = handle.tcp_addr().ok_or("chaos --serve: no TCP address")?;
+        let workers: Vec<_> = lines
+            .iter()
+            .cloned()
+            .zip(expected.iter().cloned())
+            .map(|(line, want)| {
+                std::thread::spawn(move || -> Result<(), String> {
+                    let mut s = TcpStream::connect(addr)
+                        .map_err(|e| format!("drain client connect: {e}"))?;
+                    let _ = s.set_nodelay(true);
+                    s.write_all(format!("{line}\n").as_bytes())
+                        .and_then(|()| s.flush())
+                        .map_err(|e| format!("drain client send: {e}"))?;
+                    let mut reply = String::new();
+                    BufReader::new(&mut s)
+                        .read_line(&mut reply)
+                        .map_err(|e| format!("drain client receive: {e}"))?;
+                    if reply.trim_end() == want {
+                        Ok(())
+                    } else {
+                        Err(format!("drained reply for {line} diverged: {reply}"))
+                    }
+                })
+            })
+            .collect();
+        let stats = &handle.service().stats;
+        let gate = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while stats.requests.load(Ordering::Relaxed) < lines.len() as u64 {
+            if std::time::Instant::now() > gate {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        handle.request_shutdown();
+        let mut violations = Vec::new();
+        for w in workers {
+            match w.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => violations.push(e),
+                Err(_) => violations.push("drain client panicked".to_string()),
+            }
+        }
+        handle.wait();
+        let verdict = if violations.is_empty() { "ok" } else { "!!" };
+        let _ = writeln!(
+            out,
+            "  [{verdict}] drain-under-load       {} in-flight request(s), {} failure(s)",
+            lines.len(),
+            violations.len()
+        );
+        for v in &violations {
+            let _ = writeln!(out, "       {v}");
+        }
+        total_violations += violations.len();
+    }
+
+    if total_violations > 0 {
+        let _ = writeln!(
+            out,
+            "chaos --serve: {total_violations} violated expectation(s)"
+        );
+        return Err(out);
+    }
+    out.push_str("chaos --serve: all campaigns passed\n");
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // trace-check
 // ---------------------------------------------------------------------------
@@ -2133,8 +2351,54 @@ fn serve_flags() -> FlagSet {
                 "truncate an existing warm-start file instead of reloading it",
             ),
             FlagSpec::usize("--shards", Some("0"), "cache shards (0 = one per core)"),
+            FlagSpec::usize(
+                "--max-conns",
+                Some("256"),
+                "connection budget; excess connections get a typed overloaded reply",
+            ),
+            FlagSpec::usize(
+                "--conn-idle-ms",
+                Some("10000"),
+                "per-frame read budget and write timeout in milliseconds",
+            ),
+            FlagSpec::usize(
+                "--max-frame-bytes",
+                Some("1048576"),
+                "largest accepted request frame; longer frames are rejected typed",
+            ),
+            FlagSpec::usize(
+                "--drain-deadline-ms",
+                Some("5000"),
+                "hard stop for graceful drain after shutdown begins",
+            ),
+            FlagSpec::usize(
+                "--compute-deadline-ms",
+                Some("0"),
+                "per-request compute deadline (0 = unlimited)",
+            ),
         ],
     )
+}
+
+/// Builds the connection-layer limits from the `serve` flag surface.
+fn serve_limits(flags: &ParsedFlags) -> Result<ServeLimits, String> {
+    if flags.usize("--max-conns") == 0 {
+        return Err("serve: --max-conns must be at least 1".into());
+    }
+    if flags.usize("--max-frame-bytes") < 64 {
+        return Err("serve: --max-frame-bytes must be at least 64".into());
+    }
+    let ms = |flag: &str| std::time::Duration::from_millis(flags.usize(flag) as u64);
+    Ok(ServeLimits {
+        max_conns: flags.usize("--max-conns"),
+        conn_idle: ms("--conn-idle-ms"),
+        max_frame_bytes: flags.usize("--max-frame-bytes"),
+        drain_deadline: ms("--drain-deadline-ms"),
+        compute_deadline: match flags.usize("--compute-deadline-ms") {
+            0 => None,
+            n => Some(std::time::Duration::from_millis(n as u64)),
+        },
+    })
 }
 
 /// `serve`: run the plan server until a client sends `{"cmd":"shutdown"}`.
@@ -2147,8 +2411,15 @@ fn cmd_serve(flags: &ParsedFlags) -> Result<String, String> {
         warm: flags.try_str("--warm-start").map(PathBuf::from),
         resume: !flags.switch("--no-resume"),
         shards: flags.usize("--shards"),
+        limits: serve_limits(flags)?,
     };
     let handle = serve::start(cfg)?;
+    if let Some(q) = handle.service().quarantined() {
+        println!(
+            "serve: quarantined corrupt warm-start file to {}",
+            q.display()
+        );
+    }
     if let Some(addr) = handle.tcp_addr() {
         println!("serve: listening on tcp {addr}");
     }
@@ -2159,10 +2430,12 @@ fn cmd_serve(flags: &ParsedFlags) -> Result<String, String> {
     let service = Arc::clone(handle.service());
     handle.wait();
     let stats = &service.stats;
+    let gauges = service.gauges();
     let (p50, p99) = stats.latency_percentiles();
     Ok(format!(
         "serve: shut down after {} request(s): {} hits, {} misses, {} errors, {} batch(es); \
-         {} cached plan(s) across {} shard(s); latency p50 {p50} us, p99 {p99} us\n",
+         {} cached plan(s) across {} shard(s); latency p50 {p50} us, p99 {p99} us; \
+         {} conn(s) total, {} shed, {} frame(s) rejected, drained in {} ms\n",
         stats.requests.load(Ordering::Relaxed),
         stats.hits.load(Ordering::Relaxed),
         stats.misses.load(Ordering::Relaxed),
@@ -2170,6 +2443,10 @@ fn cmd_serve(flags: &ParsedFlags) -> Result<String, String> {
         stats.batches.load(Ordering::Relaxed),
         service.entries(),
         service.shards(),
+        gauges.conns_total.load(Ordering::Relaxed),
+        gauges.shed.load(Ordering::Relaxed),
+        gauges.frame_rejects.load(Ordering::Relaxed),
+        gauges.drain_ms.load(Ordering::Relaxed),
     ))
 }
 
@@ -2179,7 +2456,7 @@ fn client_flags() -> FlagSet {
         "send one request line to a running plan server",
         Some((
             "REQUEST",
-            "request JSON (object or batch array), or ping|stats|shutdown",
+            "request JSON (object or batch array), or ping|stats|health|shutdown",
         )),
         &[
             FlagSpec::str("--tcp", Some("127.0.0.1:7070"), "server TCP address"),
@@ -2188,33 +2465,74 @@ fn client_flags() -> FlagSet {
                 None,
                 "server unix socket path (overrides --tcp)",
             ),
+            FlagSpec::usize(
+                "--retries",
+                Some("1"),
+                "connect retries after a refused/reset connection",
+            ),
+            FlagSpec::usize(
+                "--backoff-ms",
+                Some("10"),
+                "backoff before the first retry; doubles each retry, with jitter",
+            ),
         ],
     )
 }
 
 /// `client`: one request line in, one reply line out — the same wire
-/// protocol `socat`/`nc` speak (see README).
+/// protocol `socat`/`nc` speak (see README). A refused or reset
+/// connection is retried `--retries` times with exponential backoff and
+/// jitter (the [`supervise::SupervisePolicy`] defaults); once exhausted
+/// the command fails with a typed `unavailable` error and a nonzero exit.
 fn cmd_client(flags: &ParsedFlags) -> Result<String, String> {
     let raw = flags
         .positional()
-        .ok_or("client requires a REQUEST (JSON, or ping|stats|shutdown)")?;
+        .ok_or("client requires a REQUEST (JSON, or ping|stats|health|shutdown)")?;
     let line = match raw {
-        "ping" | "stats" | "shutdown" => format!("{{\"cmd\":\"{raw}\"}}"),
+        "ping" | "stats" | "health" | "shutdown" => format!("{{\"cmd\":\"{raw}\"}}"),
         _ => raw.to_string(),
     };
-    let reply = if let Some(path) = flags.try_str("--socket") {
+    let retries = u32::try_from(flags.usize("--retries")).unwrap_or(u32::MAX);
+    let mut backoff = std::time::Duration::from_millis(flags.usize("--backoff-ms") as u64);
+    // Deterministic-per-process jitter (seeded xorshift, the bench::fault
+    // idiom) decorrelates concurrent clients without a clock dependency.
+    let mut jitter = tiling3d_grid::Xorshift64::new(u64::from(std::process::id()) | 1);
+    let attempts = retries.saturating_add(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let pause = backoff.mul_f64(1.0 + jitter.next_f64());
+            std::thread::sleep(pause);
+            backoff = backoff.saturating_mul(2);
+        }
+        match client_attempt(flags, &line) {
+            Ok(reply) => return Ok(format!("{reply}\n")),
+            Err(e) => last = e,
+        }
+    }
+    Err(format!(
+        "{}\nclient: {attempts} attempt(s) exhausted: {last}",
+        serve::wire_error(
+            "unavailable",
+            &format!("no reply after {attempts} attempt(s)"),
+        )
+    ))
+}
+
+/// One connection attempt against whichever transport the flags select.
+fn client_attempt(flags: &ParsedFlags, line: &str) -> Result<String, String> {
+    if let Some(path) = flags.try_str("--socket") {
         let stream =
             UnixStream::connect(path).map_err(|e| format!("client: connect {path}: {e}"))?;
-        client_roundtrip(stream, &line)?
+        client_roundtrip(stream, line)
     } else {
         let addr = flags.str("--tcp");
         let stream =
             TcpStream::connect(addr).map_err(|e| format!("client: connect {addr}: {e}"))?;
         // One line out, one line back: Nagle coalescing only adds latency.
         let _ = stream.set_nodelay(true);
-        client_roundtrip(stream, &line)?
-    };
-    Ok(format!("{reply}\n"))
+        client_roundtrip(stream, line)
+    }
 }
 
 fn client_roundtrip<S: std::io::Read + std::io::Write>(
